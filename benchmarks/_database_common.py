@@ -1,0 +1,87 @@
+"""Shared driver for the Figure 5-11 disk-backed-database benchmarks.
+
+Each figure varies one parameter of the base configuration; the sweep logic,
+table printing and shape checks are identical, so they live here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.analysis import EmpiricalCDF, ResultTable
+from repro.cluster import DatabaseClusterConfig, DatabaseClusterExperiment
+
+#: Loads probed in every database benchmark (the 2-copy curve stops where it
+#: would saturate, as in the paper's figures).
+LOADS: Sequence[float] = (0.1, 0.2, 0.3, 0.45)
+
+#: Requests per (load, copies) simulation point.
+REQUESTS: int = 15_000
+
+#: Files in the simulated collection (the cache:data *ratio* is what matters).
+NUM_FILES: int = 30_000
+
+
+def run_database_figure(
+    title: str,
+    config_factory: Callable[..., DatabaseClusterConfig],
+    cdf_load: float = 0.2,
+) -> Dict[str, object]:
+    """Run the load sweep for one database configuration and print its tables.
+
+    Returns:
+        Dict with ``sweep`` (copy count -> list of results) and ``experiment``.
+    """
+    config = config_factory(num_files=NUM_FILES)
+    experiment = DatabaseClusterExperiment(config)
+    sweep = experiment.sweep(LOADS, copies_list=(1, 2), num_requests=REQUESTS)
+
+    table = ResultTable(
+        ["load", "mean 1 copy (ms)", "mean 2 copies (ms)",
+         "p99.9 1 copy (ms)", "p99.9 2 copies (ms)"],
+        title=title,
+    )
+    replicated_by_load = {r.load: r for r in sweep[2]}
+    for baseline in sweep[1]:
+        replicated = replicated_by_load.get(baseline.load)
+        table.add_row(**{
+            "load": baseline.load,
+            "mean 1 copy (ms)": round(baseline.mean * 1000, 2),
+            "mean 2 copies (ms)": round(replicated.mean * 1000, 2) if replicated else None,
+            "p99.9 1 copy (ms)": round(baseline.p999 * 1000, 1),
+            "p99.9 2 copies (ms)": round(replicated.p999 * 1000, 1) if replicated else None,
+        })
+    print("\n" + table.to_text())
+
+    baseline_cdf = next((r for r in sweep[1] if abs(r.load - cdf_load) < 1e-9), None)
+    replicated_cdf = replicated_by_load.get(cdf_load)
+    if baseline_cdf is not None and replicated_cdf is not None:
+        cdf_table = ResultTable(
+            ["threshold (ms)", "1 copy frac later", "2 copies frac later"],
+            title=f"CDF at load {cdf_load:.0%}",
+        )
+        base = EmpiricalCDF(baseline_cdf.response_times)
+        repl = EmpiricalCDF(replicated_cdf.response_times)
+        for threshold_ms in (5, 10, 20, 50, 100, 200):
+            cdf_table.add_row(**{
+                "threshold (ms)": threshold_ms,
+                "1 copy frac later": f"{base.ccdf(threshold_ms / 1000.0):.4f}",
+                "2 copies frac later": f"{repl.ccdf(threshold_ms / 1000.0):.4f}",
+            })
+        print(cdf_table.to_text())
+
+    return {"sweep": sweep, "experiment": experiment, "config": config}
+
+
+def mean_improvement_at(sweep, load: float) -> float:
+    """Ratio mean(1 copy) / mean(2 copies) at one load (>1 means replication wins)."""
+    baseline = next(r for r in sweep[1] if abs(r.load - load) < 1e-9)
+    replicated = next(r for r in sweep[2] if abs(r.load - load) < 1e-9)
+    return baseline.mean / replicated.mean
+
+
+def tail_improvement_at(sweep, load: float) -> float:
+    """Ratio p99.9(1 copy) / p99.9(2 copies) at one load."""
+    baseline = next(r for r in sweep[1] if abs(r.load - load) < 1e-9)
+    replicated = next(r for r in sweep[2] if abs(r.load - load) < 1e-9)
+    return baseline.p999 / replicated.p999

@@ -1,0 +1,89 @@
+"""Figure 1 (+ Theorem 1): mean response time vs load and response-time CDF.
+
+Reproduces the first-example plots of Section 2.1: mean response time as a
+function of load for 1 vs 2 copies under deterministic and Pareto(2.1)
+service times, the Pareto CDF at 20% load, and the exact Theorem 1 check that
+the exponential-service threshold is 1/3.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.analysis import EmpiricalCDF, comparison_table
+from repro.distributions import Deterministic, Exponential, Pareto
+from repro.queueing import ReplicatedQueueingModel, mm1_threshold_load
+
+LOADS = [0.1, 0.2, 0.3, 0.4, 0.45]
+REQUESTS = 25_000
+
+
+def sweep(service, seed=1):
+    means = {1: [], 2: []}
+    for copies in (1, 2):
+        model = ReplicatedQueueingModel(service, copies=copies, seed=seed)
+        for load in LOADS:
+            means[copies].append(model.run_fast(load, num_requests=REQUESTS).mean)
+    return means
+
+
+@pytest.mark.parametrize(
+    "name,service",
+    [("deterministic", Deterministic(1.0)), ("pareto-2.1", Pareto(alpha=2.1, mean=1.0))],
+)
+def test_fig1_mean_response_vs_load(benchmark, name, service):
+    means = run_once(benchmark, sweep, service)
+    table = comparison_table(
+        f"Figure 1: mean response time vs load ({name} service)",
+        "load",
+        LOADS,
+        {"1 copy": [round(m, 3) for m in means[1]], "2 copies": [round(m, 3) for m in means[2]]},
+    )
+    print("\n" + table.to_text())
+
+    # Shape: replication wins at low load and loses at the highest load probed
+    # (the crossover is the threshold load, between ~26% and 50%).
+    assert means[2][0] < means[1][0]
+    assert means[2][-1] > means[1][-1]
+
+
+def test_fig1_pareto_cdf_at_20_percent_load(benchmark):
+    service = Pareto(alpha=2.1, mean=1.0)
+
+    def run():
+        baseline = ReplicatedQueueingModel(service, copies=1, seed=2).run_fast(0.2, REQUESTS)
+        replicated = ReplicatedQueueingModel(service, copies=2, seed=2).run_fast(0.2, REQUESTS)
+        return baseline, replicated
+
+    baseline, replicated = run_once(benchmark, run)
+    thresholds = [1, 2, 5, 10, 20, 50]
+    base_cdf, repl_cdf = EmpiricalCDF(baseline.response_times), EmpiricalCDF(replicated.response_times)
+    table = comparison_table(
+        "Figure 1(c): Pareto service, CDF at load 0.2 (fraction later than threshold)",
+        "response time (s)",
+        thresholds,
+        {
+            "1 copy": [f"{base_cdf.ccdf(t):.5f}" for t in thresholds],
+            "2 copies": [f"{repl_cdf.ccdf(t):.5f}" for t in thresholds],
+        },
+    )
+    print("\n" + table.to_text())
+
+    # The paper reports ~5x reduction of the 99.9th percentile at this load.
+    assert replicated.summary.p999 < baseline.summary.p999 / 2.0
+
+
+def test_theorem1_exponential_threshold(benchmark):
+    def analytic_and_simulated():
+        analytic = mm1_threshold_load(2)
+        baseline = ReplicatedQueueingModel(Exponential(1.0), copies=1, seed=3)
+        replicated = ReplicatedQueueingModel(Exponential(1.0), copies=2, seed=3)
+        below = baseline.run_fast(0.3, REQUESTS).mean - replicated.run_fast(0.3, REQUESTS).mean
+        above = baseline.run_fast(0.37, REQUESTS).mean - replicated.run_fast(0.37, REQUESTS).mean
+        return analytic, below, above
+
+    analytic, benefit_below, benefit_above = run_once(benchmark, analytic_and_simulated)
+    print(f"\nTheorem 1: analytic threshold = {analytic:.4f}; "
+          f"simulated benefit at 30% load = {benefit_below:+.3f} s, at 37% load = {benefit_above:+.3f} s")
+    assert analytic == pytest.approx(1.0 / 3.0)
+    assert benefit_below > 0 > benefit_above

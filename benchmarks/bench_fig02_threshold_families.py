@@ -1,0 +1,46 @@
+"""Figure 2: threshold load vs variance for the Weibull, Pareto and two-point families.
+
+In all three unit-mean families the variance grows along the x-axis; the paper
+shows the threshold load rising from ~26% (deterministic) towards the 50%
+capacity bound as the service time becomes more variable.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.analysis import comparison_table
+from repro.distributions import pareto_family, two_point_family, weibull_family
+from repro.queueing import threshold_load
+
+SIM = dict(num_requests=18_000, tolerance=0.02, seed=2)
+
+FAMILIES = {
+    "weibull": (weibull_family, [0.0, 1.0, 4.0]),
+    "pareto": (pareto_family, [0.0, 0.5, 0.8]),
+    "two-point": (two_point_family, [0.0, 0.5, 0.9]),
+}
+
+
+@pytest.mark.parametrize("family_name", list(FAMILIES))
+def test_fig2_threshold_vs_variance(benchmark, family_name):
+    family, parameters = FAMILIES[family_name]
+
+    def compute():
+        return [threshold_load(family(value), **SIM) for value in parameters]
+
+    thresholds = run_once(benchmark, compute)
+    table = comparison_table(
+        f"Figure 2: threshold load, {family_name} family (variance grows along the x-axis)",
+        "family parameter",
+        parameters,
+        {"threshold load": [round(t, 3) for t in thresholds]},
+    )
+    print("\n" + table.to_text())
+
+    # Shape: every threshold is in the paper's 25-50% band (with simulation
+    # slack), and the most variable member has a higher threshold than the
+    # deterministic one.
+    for threshold in thresholds:
+        assert 0.18 <= threshold <= 0.5
+    assert thresholds[-1] > thresholds[0] - 0.02

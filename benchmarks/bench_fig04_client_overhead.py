@@ -1,0 +1,52 @@
+"""Figure 4: effect of client-side overhead on the threshold load.
+
+A fixed per-request latency penalty charged to replicated requests (expressed
+as a fraction of the mean service time) lowers the threshold load; more
+variable service-time distributions tolerate more overhead, and overhead
+comparable to the mean service time removes the benefit entirely.
+"""
+
+from conftest import run_once
+
+from repro.analysis import comparison_table
+from repro.distributions import Deterministic, Exponential, Pareto
+from repro.queueing import overhead_threshold_curve
+
+OVERHEAD_FRACTIONS = [0.0, 0.2, 0.5, 1.0]
+SIM = dict(num_requests=15_000, tolerance=0.025, seed=3)
+
+DISTRIBUTIONS = {
+    "deterministic": Deterministic(1.0),
+    "exponential": Exponential(1.0),
+    "pareto-2.1": Pareto(alpha=2.1, mean=1.0),
+}
+
+
+def test_fig4_client_overhead_threshold(benchmark):
+    def compute():
+        return {
+            name: overhead_threshold_curve(dist, OVERHEAD_FRACTIONS, **SIM)
+            for name, dist in DISTRIBUTIONS.items()
+        }
+
+    curves = run_once(benchmark, compute)
+    table = comparison_table(
+        "Figure 4: threshold load vs client-side overhead (fraction of mean service time)",
+        "overhead fraction",
+        OVERHEAD_FRACTIONS,
+        {
+            name: [round(curve[f], 3) for f in OVERHEAD_FRACTIONS]
+            for name, curve in curves.items()
+        },
+    )
+    print("\n" + table.to_text())
+
+    for name, curve in curves.items():
+        values = [curve[f] for f in OVERHEAD_FRACTIONS]
+        # Monotone non-increasing in overhead (small simulation slack).
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 0.03
+        # Overhead equal to the mean service time removes the mean-latency benefit.
+        assert values[-1] <= 0.05
+    # More variable distributions tolerate overhead better.
+    assert curves["pareto-2.1"][0.5] >= curves["deterministic"][0.5]

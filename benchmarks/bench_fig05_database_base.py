@@ -1,0 +1,29 @@
+"""Figure 5: disk-backed database, base configuration.
+
+4 servers, deterministic 4 KB files, cache:data ratio 0.1.  The paper reports
+a ~30% threshold load, a 25-33% mean reduction at 10-20% load, and a ~2x
+99th/99.9th percentile reduction at 20% load.
+"""
+
+from _database_common import mean_improvement_at, run_database_figure, tail_improvement_at
+from conftest import run_once
+
+from repro.cluster import DatabaseClusterConfig
+
+
+def test_fig5_database_base_configuration(benchmark):
+    outcome = run_once(
+        benchmark,
+        run_database_figure,
+        "Figure 5: base configuration (4 KB files, cache:data 0.1)",
+        DatabaseClusterConfig.base,
+    )
+    sweep = outcome["sweep"]
+
+    # Replication reduces the mean at 10% and 20% load ...
+    assert mean_improvement_at(sweep, 0.1) > 1.05
+    assert mean_improvement_at(sweep, 0.2) > 1.05
+    # ... the tail improves by a larger factor (paper: ~2x at 20% load) ...
+    assert tail_improvement_at(sweep, 0.2) > 1.5
+    # ... and beyond the threshold the extra load wins (paper threshold ~30%).
+    assert mean_improvement_at(sweep, 0.45) < 1.0

@@ -1,0 +1,33 @@
+"""Figure 9: shared (EC2-like) servers instead of dedicated hardware.
+
+Noisy-neighbour interference makes the service-time distribution much more
+variable, and the benefit of replication grows accordingly (the paper sees the
+mean halve and the 99.9th percentile improve ~8x at 10-20% load).
+"""
+
+from _database_common import (
+    mean_improvement_at,
+    run_database_figure,
+    tail_improvement_at,
+)
+from conftest import run_once
+
+from repro.cluster import DatabaseClusterConfig
+
+
+def test_fig9_ec2_like_noise(benchmark):
+    outcome = run_once(
+        benchmark,
+        run_database_figure,
+        "Figure 9: EC2-like noisy servers",
+        DatabaseClusterConfig.ec2,
+    )
+    ec2_sweep = outcome["sweep"]
+
+    # Replication helps the mean and helps the tail by a larger factor than it
+    # helps the mean; the noisy environment also shows a bigger tail win than
+    # the dedicated Figure 5 run at the same load (checked loosely here — the
+    # full cross-figure comparison is recorded in EXPERIMENTS.md).
+    assert mean_improvement_at(ec2_sweep, 0.2) > 1.1
+    assert tail_improvement_at(ec2_sweep, 0.2) > mean_improvement_at(ec2_sweep, 0.2)
+    assert tail_improvement_at(ec2_sweep, 0.1) > 1.5

@@ -1,0 +1,33 @@
+"""Figure 10: mean file size 400 KB instead of 4 KB.
+
+Transferring the file now rivals locating it, and the client must receive the
+replicated responses over its own access link, so the client-side overhead of
+replication is a significant fraction of the request latency and the benefit
+largely disappears (Section 2.1's client-overhead prediction).
+"""
+
+from _database_common import mean_improvement_at, run_database_figure
+from conftest import run_once
+
+from repro.cluster import DatabaseClusterConfig
+
+
+def test_fig10_large_files(benchmark):
+    outcome = run_once(
+        benchmark,
+        run_database_figure,
+        "Figure 10: 400 KB files (client overhead significant)",
+        DatabaseClusterConfig.large_files,
+    )
+    sweep = outcome["sweep"]
+    config = outcome["config"]
+
+    # The per-copy client overhead is now a sizeable fraction of the service time.
+    overhead_fraction = config.client_overhead_per_extra_copy() / config.expected_service_time(1)
+    assert overhead_fraction > 0.15
+
+    # The mean-latency benefit is marginal at best (well below the ~25-33%
+    # improvement of the base configuration), and replication clearly loses
+    # above the threshold.
+    assert mean_improvement_at(sweep, 0.2) < 1.15
+    assert mean_improvement_at(sweep, 0.45) < 1.0

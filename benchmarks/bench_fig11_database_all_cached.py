@@ -1,0 +1,31 @@
+"""Figure 11: cache:data ratio 2 — the whole data set fits in memory.
+
+Service times collapse to the sub-millisecond memory path, so the fixed
+client-side cost of processing a second response is comparable to the request
+latency and replication stops helping the mean (the same mechanism the
+memcached experiment isolates).
+"""
+
+from _database_common import mean_improvement_at, run_database_figure
+from conftest import run_once
+
+from repro.cluster import DatabaseClusterConfig
+
+
+def test_fig11_everything_cached(benchmark):
+    outcome = run_once(
+        benchmark,
+        run_database_figure,
+        "Figure 11: cache:data ratio 2 (all files in memory)",
+        DatabaseClusterConfig.all_cached,
+    )
+    sweep = outcome["sweep"]
+
+    # Requests are served from memory: the cache hit ratio is ~1 and the mean
+    # response is orders of magnitude below the disk-bound configurations.
+    assert sweep[1][0].cache_hit_ratio > 0.95
+    assert sweep[1][0].mean < 0.002
+
+    # Replication no longer reduces the mean at any probed load.
+    for load in (0.1, 0.2, 0.3):
+        assert mean_improvement_at(sweep, load) < 1.05

@@ -1,0 +1,47 @@
+"""Figure 12: memcached — replication worsens performance at every load probed.
+
+Service times are a fraction of a millisecond with little variance, and the
+client pays ~9% of the mean service time to process each extra response, so
+the paper finds replication hurting at every load from 10% to 90%.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ResultTable
+from repro.cluster import MemcachedExperiment
+
+LOADS_1COPY = [0.1, 0.3, 0.5, 0.7, 0.9]
+LOADS_2COPY = [0.1, 0.2, 0.3, 0.45]
+REQUESTS = 30_000
+
+
+def test_fig12_memcached_load_sweep(benchmark):
+    experiment = MemcachedExperiment()
+
+    def compute():
+        baseline = {load: experiment.run(load, copies=1, num_requests=REQUESTS) for load in LOADS_1COPY}
+        replicated = {load: experiment.run(load, copies=2, num_requests=REQUESTS) for load in LOADS_2COPY}
+        return baseline, replicated
+
+    baseline, replicated = run_once(benchmark, compute)
+
+    table = ResultTable(
+        ["load", "mean 1 copy (ms)", "mean 2 copies (ms)", "p99.9 1 copy (ms)", "p99.9 2 copies (ms)"],
+        title="Figure 12: memcached response times",
+    )
+    for load in LOADS_1COPY:
+        repl = replicated.get(load)
+        table.add_row(**{
+            "load": load,
+            "mean 1 copy (ms)": round(baseline[load].mean * 1000, 4),
+            "mean 2 copies (ms)": round(repl.mean * 1000, 4) if repl else None,
+            "p99.9 1 copy (ms)": round(baseline[load].summary.p999 * 1000, 3),
+            "p99.9 2 copies (ms)": round(repl.summary.p999 * 1000, 3) if repl else None,
+        })
+    print("\n" + table.to_text())
+
+    # Replication worsens the mean at every load where it is feasible
+    # (10%-45%; beyond that it would saturate outright).
+    for load in LOADS_2COPY:
+        if load in baseline:
+            assert replicated[load].mean > baseline[load].mean

@@ -1,0 +1,50 @@
+"""Figure 15: DNS response-time distribution when querying 1/2/5/10 servers.
+
+The paper reports the fraction of responses later than 500 ms dropping 6.5x
+and the fraction later than 1.5 s dropping 50x when querying 10 servers
+instead of the best single server.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ResultTable
+
+
+def test_fig15_dns_response_time_distribution(benchmark, dns_results):
+    def summarise():
+        thresholds = (0.1, 0.25, 0.5, 1.0, 1.5)
+        rows = []
+        for threshold in thresholds:
+            rows.append(
+                (threshold, {k: dns_results.fraction_later_than(threshold, k) for k in (1, 2, 5, 10)})
+            )
+        return rows
+
+    rows = run_once(benchmark, summarise)
+    table = ResultTable(
+        ["threshold (s)", "1 server", "2 servers", "5 servers", "10 servers"],
+        title="Figure 15: fraction of DNS queries later than threshold",
+    )
+    for threshold, fractions in rows:
+        table.add_row(**{
+            "threshold (s)": threshold,
+            "1 server": f"{fractions[1]:.5f}",
+            "2 servers": f"{fractions[2]:.5f}",
+            "5 servers": f"{fractions[5]:.5f}",
+            "10 servers": f"{fractions[10]:.5f}",
+        })
+    print("\n" + table.to_text())
+    print(f"\n> 500 ms improvement with 10 servers: {dns_results.tail_improvement(0.5, 10):.1f}x "
+          "(paper: 6.5x)")
+    print(f"> 1.5 s improvement with 10 servers: {dns_results.tail_improvement(1.5, 10):.1f}x "
+          "(paper: 50x)")
+
+    # Shape: replication thins the tail dramatically, and every replicated
+    # configuration has no more late responses than the single best server
+    # (up to the sampling noise of the correlated vantage-local floor, which
+    # replication cannot remove).
+    assert dns_results.tail_improvement(0.5, 10) > 3.0
+    assert dns_results.tail_improvement(1.5, 10) > 10.0
+    for threshold, fractions in rows:
+        assert fractions[10] <= fractions[1] + 5e-4
+        assert fractions[2] <= fractions[1] + 5e-4

@@ -1,0 +1,44 @@
+"""Figure 16: percentage reduction in DNS response time vs number of copies.
+
+The paper reports a substantial reduction already with 2 servers, improving to
+a 50-62% reduction across mean/median/95th/99th percentile with 10 servers,
+relative to the best single server of the per-vantage ranking stage.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ResultTable
+
+METRICS = ("mean", "median", "p95", "p99")
+
+
+def test_fig16_reduction_vs_copies(benchmark, dns_results):
+    def summarise():
+        copies = sorted(dns_results.samples_by_copies)
+        return {
+            metric: [dns_results.reduction_percent[metric][k] for k in copies]
+            for metric in METRICS
+        }, sorted(dns_results.samples_by_copies)
+
+    reductions, copies = run_once(benchmark, summarise)
+    table = ResultTable(
+        ["copies", *METRICS],
+        title="Figure 16: % reduction in DNS response time vs best single server",
+    )
+    for index, k in enumerate(copies):
+        table.add_row(**{
+            "copies": k,
+            **{metric: round(reductions[metric][index], 1) for metric in METRICS},
+        })
+    print("\n" + table.to_text())
+
+    last = len(copies) - 1
+    second = copies.index(2)
+    # Substantial benefit with just 2 servers in the mean and the tail ...
+    assert reductions["mean"][second] > 10.0
+    assert reductions["p99"][second] > 20.0
+    # ... growing (or at least not shrinking much) with 10 servers, where the
+    # paper reports 50-62% reductions; we accept anything above 30%.
+    assert reductions["mean"][last] > 30.0
+    assert reductions["p99"][last] > 30.0
+    assert reductions["mean"][last] >= reductions["mean"][second] - 5.0

@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the corresponding rows/series (via :class:`repro.analysis.ResultTable`) so the
+"paper vs measured" comparison in ``EXPERIMENTS.md`` can be read straight off
+the benchmark output.  Simulation sizes are scaled down so the whole suite
+runs in minutes on a laptop; the *shape* of every result (who wins, by
+roughly what factor, where crossovers fall) is asserted, the absolute numbers
+are not.
+"""
+
+import pytest
+
+from repro.wan import DnsExperiment, DnsExperimentConfig
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    The experiments here are macro-benchmarks (seconds each), so repeated
+    rounds would make the suite unreasonably slow without improving the
+    latency estimate.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def dns_results():
+    """One shared DNS experiment run reused by the Figure 15/16/17 benches."""
+    config = DnsExperimentConfig(stage2_queries_per_config=1_500, seed=3)
+    return DnsExperiment(config).run()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""In-network replication in a fat-tree datacenter (the Figure 14 pipeline).
+
+Switches replicate the first 8 packets of every flow along an alternate ECMP
+path at strictly lower priority; the receiver keeps whichever copy arrives
+first.  The script runs the same workload with and without replication and
+reports short-flow (<10 KB) completion times, timeout counts, and the effect
+on elephant flows.
+
+The default uses a k=4 fat-tree (16 hosts) so the example finishes in under a
+minute; pass ``--paper-scale`` for the paper's 54-host k=6 fabric.
+
+Run:
+    python examples/datacenter_network.py [--paper-scale]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import ResultTable
+from repro.network import FatTreeExperiment, FatTreeExperimentConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's k=6 (54-host) fat-tree; slower")
+    parser.add_argument("--load", type=float, default=0.4, help="offered load (default 0.4)")
+    parser.add_argument("--flows", type=int, default=None, help="number of flows to simulate")
+    args = parser.parse_args()
+
+    k = 6 if args.paper_scale else 4
+    num_flows = args.flows if args.flows is not None else (2_000 if args.paper_scale else 800)
+    config = FatTreeExperimentConfig(
+        k=k, link_rate_gbps=5.0, per_hop_delay_us=2.0, load=args.load,
+        num_flows=num_flows, seed=11,
+    )
+    experiment = FatTreeExperiment(config)
+    print(f"Fat-tree k={k} ({experiment.topology.num_hosts} hosts), "
+          f"load {args.load:.0%}, {num_flows} flows, replicate first "
+          f"{config.replication.first_packets} packets at low priority...\n")
+
+    results = experiment.compare()
+    baseline, replicated = results["baseline"], results["replicated"]
+
+    table = ResultTable(
+        ["metric", "no replication", "replication", "improvement"],
+        title="Short flows (< 10 KB)",
+    )
+    base_fcts, repl_fcts = baseline.short_flow_fcts(), replicated.short_flow_fcts()
+    for metric, func in (("median FCT (ms)", np.median), ("mean FCT (ms)", np.mean),
+                         ("99th pct FCT (ms)", lambda x: np.percentile(x, 99))):
+        base_value, repl_value = float(func(base_fcts)), float(func(repl_fcts))
+        table.add_row(**{
+            "metric": metric,
+            "no replication": round(base_value * 1000, 3),
+            "replication": round(repl_value * 1000, 3),
+            "improvement": f"{100 * (base_value - repl_value) / base_value:.1f}%",
+        })
+    base_timeouts = sum(r.timeouts for r in baseline.records)
+    repl_timeouts = sum(r.timeouts for r in replicated.records)
+    table.add_row(**{
+        "metric": "TCP timeouts (all flows)",
+        "no replication": base_timeouts,
+        "replication": repl_timeouts,
+        "improvement": f"{base_timeouts - repl_timeouts} avoided",
+    })
+    print(table.to_text())
+
+    base_elephants, repl_elephants = baseline.elephant_fcts(), replicated.elephant_fcts()
+    if len(base_elephants) and len(repl_elephants):
+        print(f"\nElephant flows (>= 1 MB): mean FCT {np.mean(base_elephants) * 1000:.1f} ms -> "
+              f"{np.mean(repl_elephants) * 1000:.1f} ms "
+              "(the paper reports a statistically insignificant change)")
+    print(f"\nDropped packets: {baseline.dropped_packets} without replication, "
+          f"{replicated.dropped_packets} originals + {replicated.dropped_replicas} replicas with it "
+          "(replicas are dropped first and never displace originals).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Wide-area DNS replication study (the Figures 15-17 pipeline).
+
+Replays the paper's two-stage protocol on the synthetic vantage-point model:
+rank the 10 resolvers by mean response time from each vantage point, then
+query the best k in parallel and keep the first answer.  Prints the tail
+("fraction later than threshold") improvements, the percentage reduction in
+mean/median/95th/99th percentile versus the best single server, and the
+marginal cost-effectiveness of each extra server against the paper's
+16 ms/KB break-even benchmark.
+
+Run:
+    python examples/dns_replication.py
+"""
+
+from repro.analysis import ResultTable
+from repro.core import DEFAULT_BREAK_EVEN_MS_PER_KB
+from repro.wan import DnsExperiment, DnsExperimentConfig
+
+
+def main() -> None:
+    config = DnsExperimentConfig(stage2_queries_per_config=1_500, seed=3)
+    experiment = DnsExperiment(config)
+    results = experiment.run()
+
+    print(f"DNS replication across {config.num_vantage_points} vantage points, "
+          f"{config.num_servers} public resolvers\n")
+
+    tail_table = ResultTable(
+        ["servers queried", "frac > 500 ms", "frac > 1.5 s"],
+        title="Tail of the response-time distribution (Figure 15)",
+    )
+    for copies in (1, 2, 5, 10):
+        tail_table.add_row(**{
+            "servers queried": copies,
+            "frac > 500 ms": f"{results.fraction_later_than(0.5, copies):.4f}",
+            "frac > 1.5 s": f"{results.fraction_later_than(1.5, copies):.5f}",
+        })
+    print(tail_table.to_text())
+    print(f"\n  > 500 ms improvement with 10 servers: "
+          f"{results.tail_improvement(0.5, 10):.1f}x (paper: 6.5x)")
+    print(f"  > 1.5 s improvement with 10 servers: "
+          f"{results.tail_improvement(1.5, 10):.1f}x (paper: 50x)\n")
+
+    reduction_table = ResultTable(
+        ["copies", "mean %", "median %", "95th %", "99th %"],
+        title="Reduction vs best single server (Figure 16)",
+    )
+    for copies in range(1, config.num_servers + 1):
+        reduction_table.add_row(**{
+            "copies": copies,
+            "mean %": round(results.reduction_percent["mean"][copies], 1),
+            "median %": round(results.reduction_percent["median"][copies], 1),
+            "95th %": round(results.reduction_percent["p95"][copies], 1),
+            "99th %": round(results.reduction_percent["p99"][copies], 1),
+        })
+    print(reduction_table.to_text())
+
+    marginal_table = ResultTable(
+        ["extra server", "marginal mean (ms/KB)", "marginal p99 (ms/KB)", "worth it (mean)?"],
+        title="\nMarginal value of each extra server (Figure 17, break-even "
+              f"{DEFAULT_BREAK_EVEN_MS_PER_KB:.0f} ms/KB)",
+    )
+    mean_marginal = results.marginal_analysis("mean")
+    p99_marginal = results.marginal_analysis("p99")
+    for index, (mean_item, p99_item) in enumerate(zip(mean_marginal, p99_marginal), start=2):
+        marginal_table.add_row(**{
+            "extra server": f"{index - 1} -> {index}",
+            "marginal mean (ms/KB)": round(mean_item.savings_ms_per_kb, 1),
+            "marginal p99 (ms/KB)": round(p99_item.savings_ms_per_kb, 1),
+            "worth it (mean)?": "yes" if mean_item.worthwhile else "no",
+        })
+    print(marginal_table.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: hedged requests against flaky backends with ``repro.core``.
+
+The paper's recipe in one script: issue every operation redundantly against
+diverse backends, take the first response, cancel the rest.  Here the
+"backends" are coroutines whose latency is usually ~5 ms but occasionally
+~100 ms (the kind of tail the paper's DNS and storage experiments observe);
+hedging flattens that tail.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import asyncio
+
+import numpy as np
+
+from repro.analysis import summarize
+from repro.core import HedgeAfterDelay, KCopies, NoReplication, RedundantClient
+
+
+def make_backend(name: str, rng: np.random.Generator):
+    """A backend whose latency has a long tail (rare 100 ms hiccups)."""
+
+    async def backend(key):
+        latency = rng.exponential(0.005)
+        if rng.random() < 0.03:  # occasional slow outlier (cache miss, GC pause, ...)
+            latency += 0.1
+        await asyncio.sleep(latency)
+        return f"{name}:{key}"
+
+    return backend
+
+
+async def measure(policy, label: str, num_requests: int = 150) -> None:
+    """Issue requests under one policy and print its latency summary."""
+    rng = np.random.default_rng(42)
+    backends = [make_backend(f"replica-{i}", rng) for i in range(3)]
+    client = RedundantClient(backends, policy=policy, seed=7)
+
+    latencies = []
+    for i in range(num_requests):
+        result = await client.request(key=f"object-{i}")
+        latencies.append(result.elapsed)
+
+    summary = summarize(latencies)
+    print(
+        f"{label:<28} mean {summary.mean * 1000:6.1f} ms   "
+        f"p95 {summary.p95 * 1000:6.1f} ms   p99 {summary.p99 * 1000:6.1f} ms"
+    )
+
+
+async def main() -> None:
+    print("Hedged requests quickstart (150 requests per policy)\n")
+    await measure(NoReplication(), "single request (baseline)")
+    await measure(KCopies(2), "2 eager copies (paper)")
+    await measure(HedgeAfterDelay(delay=0.010), "hedge after 10 ms")
+    print(
+        "\nEager replication buys the best tail at 2x the load; the deferred"
+        "\nhedge recovers most of the tail improvement while adding far fewer"
+        "\nextra requests - exactly the trade-off Section 2 of the paper maps out."
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

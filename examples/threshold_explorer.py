@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Explore the threshold load across service-time distributions (Figures 1-4).
+
+For each service-time distribution this script estimates the *threshold load*
+— the highest utilisation at which replicating every request still reduces
+mean latency — and shows how client-side overhead erodes it.  It reproduces,
+at small scale, the Section 2.1 findings:
+
+* exponential service: threshold = 1/3 (Theorem 1);
+* deterministic service: threshold ≈ 26% (the conjectured worst case);
+* heavier tails: threshold closer to 50%;
+* client overhead comparable to the mean service time: threshold collapses.
+
+Run:
+    python examples/threshold_explorer.py
+"""
+
+from repro.analysis import ResultTable
+from repro.core import exponential_threshold_load
+from repro.distributions import Deterministic, Exponential, Pareto, TwoPoint, Weibull
+from repro.queueing import ReplicatedQueueingModel, threshold_load
+
+SIM = dict(num_requests=25_000, tolerance=0.02, seed=1)
+
+
+def main() -> None:
+    distributions = {
+        "deterministic": Deterministic(1.0),
+        "exponential": Exponential(1.0),
+        "weibull (shape 0.5)": Weibull(shape=0.5).unit_mean(),
+        "pareto (alpha 2.1)": Pareto(alpha=2.1, mean=1.0),
+        "two-point (p=0.9)": TwoPoint(0.9),
+    }
+
+    table = ResultTable(
+        ["service time", "threshold load", "threshold w/ 20% overhead"],
+        title="Threshold load by service-time distribution (2 copies)",
+    )
+    for name, dist in distributions.items():
+        clean = threshold_load(dist, **SIM)
+        with_overhead = threshold_load(dist, client_overhead=0.2 * dist.mean(), **SIM)
+        table.add_row(**{
+            "service time": name,
+            "threshold load": round(clean, 3),
+            "threshold w/ 20% overhead": round(with_overhead, 3),
+        })
+    print(table.to_text())
+    print(f"\nTheorem 1 (exact, exponential service): {exponential_threshold_load():.3f}")
+
+    # Show the actual latency curves for one distribution (Figure 1 shape).
+    service = Pareto(alpha=2.1, mean=1.0)
+    curve = ResultTable(
+        ["load", "1 copy mean", "2 copies mean", "1 copy p99.9", "2 copies p99.9"],
+        title="\nPareto(2.1) service: response time vs load",
+    )
+    for load in (0.1, 0.2, 0.3, 0.4):
+        baseline = ReplicatedQueueingModel(service, copies=1, seed=2).run_fast(load, 25_000)
+        replicated = ReplicatedQueueingModel(service, copies=2, seed=2).run_fast(load, 25_000)
+        curve.add_row(**{
+            "load": load,
+            "1 copy mean": round(baseline.mean, 3),
+            "2 copies mean": round(replicated.mean, 3),
+            "1 copy p99.9": round(baseline.summary.p999, 2),
+            "2 copies p99.9": round(replicated.summary.p999, 2),
+        })
+    print(curve.to_text())
+
+
+if __name__ == "__main__":
+    main()

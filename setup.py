@@ -1,0 +1,5 @@
+"""Setup shim so that editable installs work in offline environments."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of "Low Latency via Redundancy" (Vulimiri et al., CoNEXT 2013).
+
+The package is organised as a core library plus the substrates the paper's
+evaluation depends on:
+
+``repro.core``
+    The paper's primary contribution: replication/hedging policies, an
+    asyncio hedged-request client, backend selection strategies, threshold-load
+    computation and cost-benefit analysis.
+
+``repro.sim``
+    A discrete-event simulation engine (event heap, processes, resources).
+
+``repro.distributions``
+    Service-time and size distributions used throughout the evaluation.
+
+``repro.workloads``
+    Arrival processes, key popularity models and file-set construction.
+
+``repro.queueing``
+    The Section 2.1 queueing model: N servers, Poisson arrivals, k-copy
+    replication, analytic results and threshold-load search.
+
+``repro.cluster``
+    The Section 2.2/2.3 storage substrates: disk-backed database cluster and
+    memcached-style in-memory store.
+
+``repro.network``
+    The Section 2.4 substrate: packet-level fat-tree datacenter simulator with
+    in-network replication of the first packets of each flow.
+
+``repro.wan``
+    The Section 3 substrates: TCP handshake completion model and wide-area DNS
+    replication experiments.
+
+``repro.analysis``
+    Latency statistics, CDFs and result tables.
+"""
+
+from repro._version import __version__
+from repro.core.policy import (
+    HedgeAfterDelay,
+    KCopies,
+    NoReplication,
+    ReplicationPolicy,
+)
+from repro.core.hedging import RedundantClient, first_completed, hedged_call
+from repro.core.thresholds import exponential_threshold_load, threshold_load_simulated
+from repro.core.costbenefit import CostBenefitAnalysis, DEFAULT_BREAK_EVEN_MS_PER_KB
+
+__all__ = [
+    "__version__",
+    "ReplicationPolicy",
+    "NoReplication",
+    "KCopies",
+    "HedgeAfterDelay",
+    "first_completed",
+    "hedged_call",
+    "RedundantClient",
+    "exponential_threshold_load",
+    "threshold_load_simulated",
+    "CostBenefitAnalysis",
+    "DEFAULT_BREAK_EVEN_MS_PER_KB",
+]

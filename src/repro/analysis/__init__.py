@@ -1,0 +1,24 @@
+"""Latency statistics, empirical CDFs and result-table formatting."""
+
+from repro.analysis.stats import (
+    LatencySummary,
+    fraction_later_than,
+    improvement_factor,
+    mean_confidence_interval,
+    percent_reduction,
+    summarize,
+)
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.tables import ResultTable, comparison_table
+
+__all__ = [
+    "LatencySummary",
+    "summarize",
+    "improvement_factor",
+    "percent_reduction",
+    "fraction_later_than",
+    "mean_confidence_interval",
+    "EmpiricalCDF",
+    "ResultTable",
+    "comparison_table",
+]

@@ -1,0 +1,56 @@
+"""Empirical CDF / CCDF utilities.
+
+The paper plots most distributions as "fraction later than threshold" curves
+(a complementary CDF on a log scale); :class:`EmpiricalCDF` provides both the
+CDF and CCDF views plus quantile lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class EmpiricalCDF:
+    """The empirical distribution function of a set of samples."""
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        """Build the ECDF of ``samples`` (non-empty, finite, non-negative)."""
+        data = np.asarray(samples, dtype=float)
+        if data.size == 0:
+            raise ConfigurationError("cannot build a CDF from an empty sample set")
+        if not np.all(np.isfinite(data)):
+            raise ConfigurationError("samples must be finite")
+        self._sorted = np.sort(data)
+        self._n = data.size
+
+    def __len__(self) -> int:
+        return int(self._n)
+
+    def cdf(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        return float(np.searchsorted(self._sorted, x, side="right") / self._n)
+
+    def ccdf(self, x: float) -> float:
+        """P(X > x): the "fraction later than threshold" the paper plots."""
+        return 1.0 - self.cdf(x)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q <= 1``) of the samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"q must be in [0, 1], got {q!r}")
+        return float(np.quantile(self._sorted, q))
+
+    def ccdf_points(self, thresholds: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+        """CCDF evaluated at each threshold, as ``(thresholds, fractions)`` arrays."""
+        xs = np.asarray(thresholds, dtype=float)
+        fractions = np.array([self.ccdf(x) for x in xs])
+        return xs, fractions
+
+    def curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The full step-function ECDF as ``(sorted_samples, cumulative_fractions)``."""
+        fractions = np.arange(1, self._n + 1, dtype=float) / self._n
+        return self._sorted.copy(), fractions

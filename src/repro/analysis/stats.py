@@ -1,0 +1,173 @@
+"""Latency statistics used to report every experiment.
+
+The paper reports means, medians, high percentiles (95th/99th/99.9th), the
+fraction of responses later than a threshold, and improvement factors between
+the unreplicated and replicated configurations.  This module computes all of
+those from raw response-time samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Percentiles included in every :class:`LatencySummary`.
+STANDARD_PERCENTILES: Tuple[float, ...] = (50.0, 90.0, 95.0, 99.0, 99.9)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a set of response-time samples.
+
+    Attributes:
+        count: Number of samples.
+        mean: Sample mean.
+        std: Sample standard deviation.
+        minimum: Smallest sample.
+        maximum: Largest sample.
+        p50: Median.
+        p90: 90th percentile.
+        p95: 95th percentile.
+        p99: 99th percentile.
+        p999: 99.9th percentile.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    p999: float
+
+    def percentile(self, q: float) -> float:
+        """Return one of the precomputed percentiles by its ``q`` value.
+
+        Raises:
+            ConfigurationError: If ``q`` is not one of the standard
+                percentiles (use :func:`numpy.percentile` on the raw samples
+                for arbitrary quantiles).
+        """
+        lookup = {50.0: self.p50, 90.0: self.p90, 95.0: self.p95, 99.0: self.p99, 99.9: self.p999}
+        if q not in lookup:
+            raise ConfigurationError(
+                f"percentile {q!r} not precomputed; available: {sorted(lookup)}"
+            )
+        return lookup[q]
+
+    def as_row(self) -> dict:
+        """The summary as a flat dict, convenient for result tables."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "max": self.maximum,
+        }
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw samples.
+
+    Raises:
+        ConfigurationError: If ``samples`` is empty or contains negative or
+            non-finite values (latencies must be non-negative real numbers).
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample set")
+    if not np.all(np.isfinite(data)) or np.any(data < 0):
+        raise ConfigurationError("latency samples must be finite and non-negative")
+    percentiles = np.percentile(data, STANDARD_PERCENTILES)
+    return LatencySummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        p50=float(percentiles[0]),
+        p90=float(percentiles[1]),
+        p95=float(percentiles[2]),
+        p99=float(percentiles[3]),
+        p999=float(percentiles[4]),
+    )
+
+
+def improvement_factor(baseline: float, improved: float) -> float:
+    """How many times smaller ``improved`` is than ``baseline`` (e.g. "2.2x").
+
+    Returns ``inf`` when ``improved`` is zero and ``baseline`` is positive.
+
+    Raises:
+        ConfigurationError: If either value is negative.
+    """
+    if baseline < 0 or improved < 0:
+        raise ConfigurationError("latencies must be non-negative")
+    if improved == 0:
+        return math.inf if baseline > 0 else 1.0
+    return baseline / improved
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Percentage reduction from ``baseline`` to ``improved`` (positive = better).
+
+    Raises:
+        ConfigurationError: If ``baseline`` is not positive or ``improved`` is
+            negative.
+    """
+    if baseline <= 0:
+        raise ConfigurationError(f"baseline must be positive, got {baseline!r}")
+    if improved < 0:
+        raise ConfigurationError(f"improved must be non-negative, got {improved!r}")
+    return 100.0 * (baseline - improved) / baseline
+
+
+def fraction_later_than(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly greater than ``threshold``.
+
+    This is the paper's tail metric ("the fraction of responses later than
+    500 ms is reduced by 6.5x").
+    """
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot compute a tail fraction of an empty sample set")
+    return float(np.mean(data > threshold))
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Mean and normal-approximation confidence interval ``(mean, low, high)``.
+
+    Uses the central limit theorem (adequate for the sample counts used in the
+    benchmarks); for a single sample the interval collapses to the point.
+
+    Raises:
+        ConfigurationError: If ``samples`` is empty or ``confidence`` is not in
+            ``(0, 1)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence!r}")
+    data = np.asarray(samples, dtype=float)
+    if data.size == 0:
+        raise ConfigurationError("cannot compute a confidence interval of an empty sample set")
+    mean = float(data.mean())
+    if data.size == 1:
+        return mean, mean, mean
+    # Two-sided normal quantile via the inverse error function.
+    from scipy.special import erfinv
+
+    z = math.sqrt(2.0) * float(erfinv(confidence))
+    half_width = z * float(data.std(ddof=1)) / math.sqrt(data.size)
+    return mean, mean - half_width, mean + half_width

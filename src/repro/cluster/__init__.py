@@ -1,0 +1,41 @@
+"""Storage-cluster substrates for Sections 2.2 (disk-backed database) and 2.3 (memcached).
+
+The disk-backed database model (:mod:`repro.cluster.database`) reproduces the
+paper's Emulab/EC2 testbed as a discrete-event model: a set of storage servers,
+each with a byte-bounded LRU page cache in front of a FIFO disk, files placed
+by consistent hashing with the replica on the successor server, and a fleet of
+open-loop Poisson clients that optionally send each read to both replicas and
+take the first response.
+
+The memcached model (:mod:`repro.cluster.memcached`) is the in-memory
+counterpart where the per-copy client-side overhead is a significant fraction
+of the (tiny) service time, reproducing the Section 2.3 negative result.
+"""
+
+from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.cluster.cache import LRUByteCache
+from repro.cluster.disk import DiskModel
+from repro.cluster.storage_server import StorageServerModel
+from repro.cluster.database import (
+    DatabaseClusterConfig,
+    DatabaseClusterExperiment,
+    DatabaseRunResult,
+)
+from repro.cluster.memcached import (
+    MemcachedConfig,
+    MemcachedExperiment,
+    MemcachedRunResult,
+)
+
+__all__ = [
+    "ConsistentHashRing",
+    "LRUByteCache",
+    "DiskModel",
+    "StorageServerModel",
+    "DatabaseClusterConfig",
+    "DatabaseClusterExperiment",
+    "DatabaseRunResult",
+    "MemcachedConfig",
+    "MemcachedExperiment",
+    "MemcachedRunResult",
+]

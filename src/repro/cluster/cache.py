@@ -1,0 +1,99 @@
+"""A byte-bounded LRU cache modelling the Linux page cache.
+
+Section 2.2's servers keep "around half the main memory ... available for the
+Linux disk cache"; whether a requested file is in that cache is what separates
+the fast path (sub-millisecond memory read) from the slow path (disk seek +
+transfer), and the ratio of cache capacity to data-set size is the experiment's
+main variability knob (Figures 8 and 11).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class LRUByteCache:
+    """Least-recently-used cache with a capacity measured in bytes.
+
+    Entries are keyed by an opaque hashable id (the file id) and carry a size;
+    inserting an entry evicts least-recently-used entries until it fits.  An
+    entry larger than the whole cache is simply not cached (matching page
+    cache behaviour for huge files under memory pressure).
+    """
+
+    def __init__(self, capacity_bytes: float) -> None:
+        """Create an empty cache with the given capacity (> 0)."""
+        if capacity_bytes <= 0:
+            raise ConfigurationError(f"capacity_bytes must be positive, got {capacity_bytes!r}")
+        self.capacity_bytes = float(capacity_bytes)
+        self._entries: "OrderedDict[object, float]" = OrderedDict()
+        self.used_bytes = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def access(self, key: object, size_bytes: float) -> bool:
+        """Access ``key``: return ``True`` on a hit, otherwise insert it.
+
+        This is the single call the storage server makes per request: it both
+        checks for a hit and, on a miss, brings the object into the cache
+        (evicting as needed), exactly as a read through the page cache would.
+
+        Args:
+            key: Object id.
+            size_bytes: Object size (> 0).
+
+        Raises:
+            ConfigurationError: If ``size_bytes`` is not positive.
+        """
+        if size_bytes <= 0:
+            raise ConfigurationError(f"size_bytes must be positive, got {size_bytes!r}")
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._insert(key, float(size_bytes))
+        return False
+
+    def peek(self, key: object) -> bool:
+        """Whether ``key`` is cached, without touching recency or counters."""
+        return key in self._entries
+
+    def _insert(self, key: object, size_bytes: float) -> None:
+        if size_bytes > self.capacity_bytes:
+            return
+        while self.used_bytes + size_bytes > self.capacity_bytes and self._entries:
+            _, evicted_size = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_size
+            self.evictions += 1
+        self._entries[key] = size_bytes
+        self.used_bytes += size_bytes
+
+    def warm_with(self, keys_and_sizes) -> None:
+        """Pre-populate the cache (used to skip the cold-start transient).
+
+        Args:
+            keys_and_sizes: Iterable of ``(key, size_bytes)`` pairs, inserted
+                in order (so later pairs are the most recently used).
+        """
+        for key, size in keys_and_sizes:
+            if key not in self._entries:
+                self._insert(key, float(size))
+
+    @property
+    def hit_ratio(self) -> float:
+        """Observed hit ratio since creation (0 when no accesses yet)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,90 @@
+"""Consistent hashing for object placement.
+
+Section 2.2: "The files are partitioned across servers via consistent hashing,
+and two copies are stored of every file: if the primary is stored on server n,
+the (replicated) secondary goes to server n + 1."
+
+:class:`ConsistentHashRing` implements a standard virtual-node hash ring; the
+``n + 1`` successor rule of the paper corresponds to asking the ring for the
+primary's successor in server-index space (``replicas_for``), which is how the
+experiment driver uses it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def _hash64(data: str) -> int:
+    """Stable 64-bit hash of a string (independent of PYTHONHASHSEED)."""
+    return int.from_bytes(hashlib.blake2b(data.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping keys to server indices.
+
+    Attributes:
+        num_servers: Number of physical servers on the ring.
+        virtual_nodes: Number of ring positions per server (more positions =
+            smoother balance).
+    """
+
+    def __init__(self, num_servers: int, virtual_nodes: int = 64) -> None:
+        """Build a ring of ``num_servers`` servers.
+
+        Raises:
+            ConfigurationError: If either parameter is not positive.
+        """
+        if num_servers < 1:
+            raise ConfigurationError(f"num_servers must be >= 1, got {num_servers!r}")
+        if virtual_nodes < 1:
+            raise ConfigurationError(f"virtual_nodes must be >= 1, got {virtual_nodes!r}")
+        self.num_servers = int(num_servers)
+        self.virtual_nodes = int(virtual_nodes)
+        points: List[tuple[int, int]] = []
+        for server in range(num_servers):
+            for replica in range(virtual_nodes):
+                points.append((_hash64(f"server-{server}-vnode-{replica}"), server))
+        points.sort()
+        self._ring_hashes = [p[0] for p in points]
+        self._ring_servers = [p[1] for p in points]
+
+    def primary_for(self, key: object) -> int:
+        """The server index owning ``key`` (first ring point at or after its hash)."""
+        key_hash = _hash64(repr(key))
+        index = bisect.bisect_left(self._ring_hashes, key_hash)
+        if index == len(self._ring_hashes):
+            index = 0
+        return self._ring_servers[index]
+
+    def replicas_for(self, key: object, copies: int = 2) -> List[int]:
+        """Primary plus successors: the paper's "secondary goes to server n + 1".
+
+        Args:
+            key: The object key.
+            copies: Total number of replicas (primary included), at most the
+                number of servers.
+
+        Returns:
+            ``copies`` distinct server indices, primary first.
+
+        Raises:
+            ConfigurationError: If ``copies`` exceeds the number of servers.
+        """
+        if not 1 <= copies <= self.num_servers:
+            raise ConfigurationError(
+                f"copies must be in [1, {self.num_servers}], got {copies!r}"
+            )
+        primary = self.primary_for(key)
+        return [(primary + offset) % self.num_servers for offset in range(copies)]
+
+    def distribution(self, keys: Sequence[object]) -> List[int]:
+        """Number of keys whose primary lands on each server (balance check)."""
+        counts = [0] * self.num_servers
+        for key in keys:
+            counts[self.primary_for(key)] += 1
+        return counts

@@ -1,0 +1,409 @@
+"""The Section 2.2 disk-backed database experiment.
+
+A set of storage servers hosts a static collection of files placed by
+consistent hashing, with the replica of every file on the successor server.
+Open-loop Poisson clients read files chosen uniformly at random; in the
+replicated configuration every read is sent to both the primary and the
+secondary and the first response wins, at the price of the client processing
+two responses.
+
+The experiment driver reproduces the paper's configurations (Figures 5-11) via
+named constructors on :class:`DatabaseClusterConfig` and reports the same
+quantities the figures plot: mean and 99.9th-percentile response time versus
+load, and the response-time CDF at 20% load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary, summarize
+from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.cluster.disk import DiskModel
+from repro.cluster.storage_server import StorageServerModel
+from repro.distributions.base import Distribution
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.sim.rng import substream
+from repro.workloads.filesets import FileSet
+
+
+@dataclass(frozen=True)
+class DatabaseClusterConfig:
+    """Configuration of the disk-backed database experiment.
+
+    The defaults are the paper's base configuration (Figure 5): 4 servers,
+    10 clients, deterministic 4 KB files, cache:data ratio 0.1, dedicated
+    hardware.  Named constructors produce the variations of Figures 6-11.
+
+    Attributes:
+        num_servers: Number of storage servers.
+        num_clients: Number of client nodes (affects only how the aggregate
+            arrival rate is split; clients are open-loop).
+        num_files: Number of files in the collection (the simulation keeps the
+            cache:data *ratio* of the paper rather than its absolute sizes).
+        mean_file_bytes: Mean file size.
+        file_size_distribution: Distribution of file sizes (``None`` =
+            deterministic, the base configuration).
+        cache_to_data_ratio: Aggregate cache capacity divided by aggregate
+            data-set size (0.1 base, 0.01 in Figure 8, 2 in Figure 11).
+        disk: Disk service-time model.
+        memory_service_s: Service time of a cache hit.
+        noise_probability: Probability of noisy-neighbour interference on a
+            disk access (0 on dedicated hardware, > 0 for the EC2 config).
+        noise_multiplier_mean: Mean exponential multiplier for interfered
+            accesses.
+        client_cpu_overhead_s: Fixed client-side CPU/kernel cost per *extra*
+            response processed.
+        client_bandwidth_bytes_per_s: Client access-link bandwidth, charging
+            each extra response's transfer against the client.
+        copies: Replication factor when replication is on (the paper uses 2).
+        seed: Base random seed.
+    """
+
+    num_servers: int = 4
+    num_clients: int = 10
+    num_files: int = 100_000
+    mean_file_bytes: float = 4_000.0
+    file_size_distribution: Optional[Distribution] = None
+    cache_to_data_ratio: float = 0.1
+    disk: DiskModel = field(default_factory=DiskModel)
+    memory_service_s: float = 0.0002
+    noise_probability: float = 0.0
+    noise_multiplier_mean: float = 8.0
+    client_cpu_overhead_s: float = 0.00003
+    client_bandwidth_bytes_per_s: float = 125e6
+    copies: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 2:
+            raise ConfigurationError("need at least 2 servers for primary/secondary placement")
+        if self.num_clients < 1:
+            raise ConfigurationError("need at least 1 client")
+        if self.num_files < 1:
+            raise ConfigurationError("need at least 1 file")
+        if self.mean_file_bytes <= 0:
+            raise ConfigurationError("mean_file_bytes must be positive")
+        if self.cache_to_data_ratio <= 0:
+            raise ConfigurationError("cache_to_data_ratio must be positive")
+        if self.copies < 1 or self.copies > self.num_servers:
+            raise ConfigurationError(
+                f"copies must be in [1, {self.num_servers}], got {self.copies!r}"
+            )
+
+    # --------------------------- paper configurations --------------------- #
+
+    @classmethod
+    def base(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 5: the base configuration."""
+        return cls(**overrides)
+
+    @classmethod
+    def small_files(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 6: mean file size 0.04 KB instead of 4 KB."""
+        return cls(mean_file_bytes=40.0, **overrides)
+
+    @classmethod
+    def pareto_files(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 7: Pareto file-size distribution instead of deterministic."""
+        from repro.distributions.standard import Pareto
+
+        return cls(file_size_distribution=Pareto(alpha=2.1, mean=1.0), **overrides)
+
+    @classmethod
+    def small_cache(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 8: cache:data ratio 0.01 (more accesses hit disk)."""
+        return cls(cache_to_data_ratio=0.01, **overrides)
+
+    @classmethod
+    def ec2(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 9: shared (EC2-like) servers with noisy-neighbour interference."""
+        return cls(noise_probability=0.05, noise_multiplier_mean=8.0, **overrides)
+
+    @classmethod
+    def large_files(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 10: mean file size 400 KB (client overhead becomes significant)."""
+        return cls(mean_file_bytes=400_000.0, **overrides)
+
+    @classmethod
+    def all_cached(cls, **overrides) -> "DatabaseClusterConfig":
+        """Figure 11: cache:data ratio 2 (the whole data set fits in memory)."""
+        return cls(cache_to_data_ratio=2.0, **overrides)
+
+    # ----------------------------- derived values ------------------------- #
+
+    @property
+    def total_data_bytes(self) -> float:
+        """Aggregate size of the file collection."""
+        return self.num_files * self.mean_file_bytes
+
+    @property
+    def cache_bytes_per_server(self) -> float:
+        """Per-server page-cache capacity implied by the cache:data ratio."""
+        return self.cache_to_data_ratio * self.total_data_bytes / self.num_servers
+
+    def expected_hit_ratio(self, copies: int) -> float:
+        """Rough steady-state cache hit ratio for load calibration.
+
+        With uniform popularity and LRU, a server's hit ratio is approximately
+        its cache capacity divided by the size of the data it actually serves:
+        its primary share when queries are unreplicated, primary plus secondary
+        share when every query is replicated.
+        """
+        served_fraction = min(copies, 2) / self.num_servers
+        served_bytes = served_fraction * self.total_data_bytes
+        return min(1.0, self.cache_bytes_per_server / served_bytes)
+
+    def expected_service_time(self, copies: int = 1) -> float:
+        """Expected per-request service time at the bottleneck resource.
+
+        Used to convert the paper's "load" axis into an arrival rate: load is
+        defined as (arrival rate per server) x (expected unreplicated service
+        time per request).
+        """
+        hit = self.expected_hit_ratio(copies)
+        miss_service = self.disk.mean_service_time(self.mean_file_bytes) * (
+            1.0 + self.noise_probability * self.noise_multiplier_mean
+        )
+        return hit * self.memory_service_s + (1.0 - hit) * miss_service
+
+    def client_overhead_per_extra_copy(self) -> float:
+        """Client-side latency cost of processing one extra response."""
+        return (
+            self.client_cpu_overhead_s
+            + self.mean_file_bytes / self.client_bandwidth_bytes_per_s
+        )
+
+
+@dataclass(frozen=True)
+class DatabaseRunResult:
+    """Result of one (load, copies) run of the database experiment.
+
+    Attributes:
+        load: Offered load (fraction of unreplicated capacity).
+        copies: Number of copies each read was sent to.
+        response_times: Per-request response times in seconds (warmup removed).
+        summary: Latency summary of ``response_times``.
+        cache_hit_ratio: Aggregate cache hit ratio observed across servers.
+    """
+
+    load: float
+    copies: int
+    response_times: np.ndarray
+    summary: LatencySummary
+    cache_hit_ratio: float
+
+    @property
+    def mean(self) -> float:
+        """Mean response time in seconds."""
+        return self.summary.mean
+
+    @property
+    def p999(self) -> float:
+        """99.9th percentile response time in seconds."""
+        return self.summary.p999
+
+
+class DatabaseClusterExperiment:
+    """Drives the disk-backed database model across loads and copy counts."""
+
+    def __init__(self, config: DatabaseClusterConfig) -> None:
+        """Create an experiment for ``config``."""
+        self.config = config
+        self._ring = ConsistentHashRing(config.num_servers)
+        self._fileset = self._build_fileset()
+        self._primaries = self._assign_primaries()
+
+    # ------------------------------------------------------------------ #
+
+    def _build_fileset(self) -> FileSet:
+        config = self.config
+        if config.file_size_distribution is None:
+            sizes = np.full(config.num_files, float(config.mean_file_bytes))
+        else:
+            rng = substream(config.seed, "file-sizes")
+            scaled = config.file_size_distribution.scaled_to_mean(config.mean_file_bytes)
+            sizes = np.maximum(np.asarray(scaled.sample(rng, config.num_files), dtype=float), 1.0)
+        return FileSet(sizes_bytes=sizes)
+
+    def _assign_primaries(self) -> np.ndarray:
+        """Primary server of every file, via the consistent-hash ring."""
+        primaries = np.empty(self.config.num_files, dtype=np.int64)
+        for file_id in range(self.config.num_files):
+            primaries[file_id] = self._ring.primary_for(file_id)
+        return primaries
+
+    def _build_servers(self, run_seed: Tuple[int, ...]) -> List[StorageServerModel]:
+        config = self.config
+        servers = []
+        for server_id in range(config.num_servers):
+            servers.append(
+                StorageServerModel(
+                    server_id=server_id,
+                    cache_bytes=config.cache_bytes_per_server,
+                    disk=config.disk,
+                    memory_service_s=config.memory_service_s,
+                    noise_probability=config.noise_probability,
+                    noise_multiplier_mean=config.noise_multiplier_mean,
+                    rng=substream(config.seed, "server", server_id, *run_seed),
+                )
+            )
+        return servers
+
+    def _warm_caches(self, servers: List[StorageServerModel], copies: int) -> None:
+        """Pre-fill each cache with a random sample of the files it serves.
+
+        Skipping the cold-start transient keeps short runs representative of
+        steady state (the paper measures a long-running warmed system).
+        """
+        config = self.config
+        rng = substream(config.seed, "cache-warm")
+        sizes = self._fileset.sizes_bytes
+        for server in servers:
+            if copies >= 2:
+                mask = (self._primaries == server.server_id) | (
+                    (self._primaries + 1) % config.num_servers == server.server_id
+                )
+            else:
+                mask = self._primaries == server.server_id
+            candidates = np.flatnonzero(mask)
+            if candidates.size == 0:
+                continue
+            rng.shuffle(candidates)
+            server.cache.warm_with((int(f), float(sizes[f])) for f in candidates)
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        load: float,
+        copies: Optional[int] = None,
+        num_requests: int = 40_000,
+        warmup_fraction: float = 0.2,
+    ) -> DatabaseRunResult:
+        """Simulate the cluster at one load.
+
+        Args:
+            load: Offered load as a fraction of unreplicated capacity, in
+                ``(0, 1)``; with ``copies`` copies the bottleneck utilisation
+                is roughly ``copies * load``, so replicated runs are only
+                stable below ``1 / copies``.
+            copies: Copies per request (defaults to the config's value).
+            num_requests: Number of client requests to simulate.
+            warmup_fraction: Leading fraction of requests discarded.
+
+        Returns:
+            A :class:`DatabaseRunResult`.
+
+        Raises:
+            CapacityError: If the replicated load would saturate the disks.
+        """
+        config = self.config
+        k = config.copies if copies is None else int(copies)
+        if not 1 <= k <= config.num_servers:
+            raise ConfigurationError(f"copies must be in [1, {config.num_servers}], got {k!r}")
+        if load <= 0:
+            raise ConfigurationError(f"load must be positive, got {load!r}")
+        effective_load = load * k * config.expected_service_time(k) / config.expected_service_time(1)
+        if effective_load >= 0.98:
+            raise CapacityError(
+                f"load {load:.2f} with {k} copies gives bottleneck utilisation "
+                f"~{effective_load:.2f}; the system has no steady state there"
+            )
+        if num_requests < 100:
+            raise ConfigurationError(f"num_requests must be >= 100, got {num_requests!r}")
+
+        arrivals_rng = substream(config.seed, "arrivals", load)
+        keys_rng = substream(config.seed, "keys", load)
+
+        mean_service = config.expected_service_time(1)
+        total_rate = config.num_servers * load / mean_service
+        gaps = arrivals_rng.exponential(1.0 / total_rate, num_requests)
+        arrival_times = np.cumsum(gaps)
+        file_ids = keys_rng.integers(0, config.num_files, size=num_requests)
+        sizes = self._fileset.sizes_bytes[file_ids]
+        primaries = self._primaries[file_ids]
+
+        servers = self._build_servers(run_seed=(k, hash(round(load, 6)) & 0xFFFF))
+        self._warm_caches(servers, k)
+
+        overhead = config.client_overhead_per_extra_copy() * (k - 1)
+        response = np.empty(num_requests)
+        num_servers = config.num_servers
+        for i in range(num_requests):
+            arrival = arrival_times[i]
+            file_id = int(file_ids[i])
+            size = float(sizes[i])
+            best = np.inf
+            primary = int(primaries[i])
+            for offset in range(k):
+                server = servers[(primary + offset) % num_servers]
+                completion, _hit = server.serve(arrival, file_id, size)
+                elapsed = completion - arrival
+                if elapsed < best:
+                    best = elapsed
+            response[i] = best + overhead
+
+        start = int(num_requests * warmup_fraction)
+        retained = response[start:]
+        hits = sum(s.cache.hits for s in servers)
+        accesses = hits + sum(s.cache.misses for s in servers)
+        return DatabaseRunResult(
+            load=float(load),
+            copies=k,
+            response_times=retained,
+            summary=summarize(retained),
+            cache_hit_ratio=hits / accesses if accesses else 0.0,
+        )
+
+    def sweep(
+        self,
+        loads: Sequence[float],
+        copies_list: Sequence[int] = (1, 2),
+        num_requests: int = 40_000,
+    ) -> Dict[int, List[DatabaseRunResult]]:
+        """Run a load sweep for each copy count (skipping saturated points).
+
+        Returns:
+            Mapping from copy count to the list of results, one per feasible
+            load in ``loads`` (loads that would saturate the replicated system
+            are skipped, mirroring how the paper's 2-copy curves stop short of
+            full load).
+        """
+        results: Dict[int, List[DatabaseRunResult]] = {}
+        for k in copies_list:
+            per_copy: List[DatabaseRunResult] = []
+            for load in loads:
+                try:
+                    per_copy.append(self.run(load, copies=k, num_requests=num_requests))
+                except CapacityError:
+                    continue
+            results[int(k)] = per_copy
+        return results
+
+    def threshold_load(
+        self,
+        loads: Sequence[float],
+        num_requests: int = 30_000,
+    ) -> float:
+        """Largest probed load at which replication still improves mean latency.
+
+        This mirrors how the paper reads the threshold off Figure 5 (≈30% in
+        the base configuration) rather than running a bisection, because each
+        cluster simulation point is comparatively expensive.
+        """
+        best = 0.0
+        for load in sorted(loads):
+            try:
+                baseline = self.run(load, copies=1, num_requests=num_requests)
+                replicated = self.run(load, copies=2, num_requests=num_requests)
+            except CapacityError:
+                break
+            if replicated.mean < baseline.mean:
+                best = float(load)
+            else:
+                break
+        return best

@@ -1,0 +1,259 @@
+"""The Section 2.3 memcached experiment.
+
+Same setup as the disk-backed database but with the store entirely in memory:
+service times are a fraction of a millisecond and not very variable, so the
+client-side cost of processing a second response (measured in the paper at
+>= 9% of the mean service time via a "stub" build whose memcached calls are
+no-ops) eats the benefit of replication.  The paper's findings reproduced
+here:
+
+* replication worsens overall performance at every load from 10% to 90%
+  (Figure 12);
+* at a very low (0.1%) load, replication roughly breaks even in the real build
+  (the paper measures a slight benefit there), while the stub build isolates
+  the pure client-side overhead (Figure 13);
+* hence the threshold load is small - well below 10%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary, summarize
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.sim.rng import substream
+
+
+@dataclass(frozen=True)
+class MemcachedConfig:
+    """Configuration of the memcached experiment.
+
+    Attributes:
+        num_servers: Number of memcached servers.
+        mean_service_s: Mean server-side service time (the paper measures
+            ≈0.18 ms).
+        service_spread: Half-width of the uniform body of the service time,
+            as a fraction of the mean (the distribution is deliberately
+            low-variance: the paper notes >99.9% of the mass lies within 4x of
+            the mean).
+        outlier_probability: Probability that a request hits a server-side
+            outlier (GC pause, scheduling blip).
+        outlier_scale_s: Mean of the exponential extra delay of an outlier.
+        client_base_s: Client-side processing time for an unreplicated request
+            (request serialisation, kernel, NIC).
+        client_extra_copy_s: Additional client-side time per extra copy — the
+            paper's stub measurement puts this at ≈0.016 ms, i.e. ≈9% of the
+            mean service time.
+        unmeasured_extra_copy_s: Additional per-extra-copy cost that the stub
+            build cannot observe (network and kernel processing of the second
+            response); the paper notes its stub figure "is an underestimate of
+            the true client-side overhead" for exactly this reason.  Charged
+            only in real (non-stub) runs.
+        copies: Replication factor when replication is on.
+        seed: Base random seed.
+    """
+
+    num_servers: int = 4
+    mean_service_s: float = 0.00018
+    service_spread: float = 0.3
+    outlier_probability: float = 0.0005
+    outlier_scale_s: float = 0.002
+    client_base_s: float = 0.00004
+    client_extra_copy_s: float = 0.000016
+    unmeasured_extra_copy_s: float = 0.000006
+    copies: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_servers < 2:
+            raise ConfigurationError("need at least 2 servers to replicate across")
+        if self.mean_service_s <= 0:
+            raise ConfigurationError("mean_service_s must be positive")
+        if not 0.0 <= self.service_spread < 1.0:
+            raise ConfigurationError("service_spread must be in [0, 1)")
+        if not 0.0 <= self.outlier_probability <= 1.0:
+            raise ConfigurationError("outlier_probability must be in [0, 1]")
+        if (
+            self.outlier_scale_s < 0
+            or self.client_base_s < 0
+            or self.client_extra_copy_s < 0
+            or self.unmeasured_extra_copy_s < 0
+        ):
+            raise ConfigurationError("latency parameters must be non-negative")
+        if not 1 <= self.copies <= self.num_servers:
+            raise ConfigurationError(
+                f"copies must be in [1, {self.num_servers}], got {self.copies!r}"
+            )
+
+    def overhead_fraction(self) -> float:
+        """Client overhead per extra copy as a fraction of the mean service time."""
+        return self.client_extra_copy_s / self.mean_service_s
+
+    def expected_service_s(self) -> float:
+        """Mean server-side service time including the outlier contribution."""
+        return self.mean_service_s + self.outlier_probability * self.outlier_scale_s
+
+
+@dataclass(frozen=True)
+class MemcachedRunResult:
+    """Result of one (load, copies) memcached run.
+
+    Attributes:
+        load: Offered load (fraction of unreplicated capacity).
+        copies: Copies per request.
+        stub: Whether the run used the stub build (server calls replaced by
+            no-ops, isolating client-side latency).
+        response_times: Per-request response times in seconds.
+        summary: Latency summary of ``response_times``.
+    """
+
+    load: float
+    copies: int
+    stub: bool
+    response_times: np.ndarray
+    summary: LatencySummary
+
+    @property
+    def mean(self) -> float:
+        """Mean response time in seconds."""
+        return self.summary.mean
+
+
+class MemcachedExperiment:
+    """Drives the in-memory store model across loads and copy counts."""
+
+    def __init__(self, config: Optional[MemcachedConfig] = None) -> None:
+        """Create the experiment (default configuration = the paper's)."""
+        self.config = config or MemcachedConfig()
+
+    def _sample_service(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw server-side service times: a narrow uniform body plus rare outliers."""
+        config = self.config
+        spread = config.mean_service_s * config.service_spread
+        body = rng.uniform(config.mean_service_s - spread, config.mean_service_s + spread, count)
+        outliers = rng.random(count) < config.outlier_probability
+        extra = rng.exponential(config.outlier_scale_s, count) * outliers
+        return body + extra
+
+    def run(
+        self,
+        load: float,
+        copies: Optional[int] = None,
+        stub: bool = False,
+        num_requests: int = 50_000,
+        warmup_fraction: float = 0.1,
+    ) -> MemcachedRunResult:
+        """Simulate the memcached cluster at one load.
+
+        Args:
+            load: Offered load as a fraction of unreplicated capacity.
+            copies: Copies per request (defaults to the config's value).
+            stub: Run the stub build: server calls return immediately, so the
+                response time is pure client-side processing (Figure 13).
+            num_requests: Requests to simulate.
+            warmup_fraction: Leading fraction of requests discarded.
+
+        Raises:
+            CapacityError: If ``copies * load`` saturates the servers.
+        """
+        config = self.config
+        k = config.copies if copies is None else int(copies)
+        if not 1 <= k <= config.num_servers:
+            raise ConfigurationError(f"copies must be in [1, {config.num_servers}], got {k!r}")
+        if load <= 0:
+            raise ConfigurationError(f"load must be positive, got {load!r}")
+        if not stub and k * load >= 0.98:
+            raise CapacityError(
+                f"load {load:.2f} with {k} copies saturates the servers"
+            )
+
+        arrivals_rng = substream(config.seed, "arrivals", load, k, stub)
+        service_rng = substream(config.seed, "service", load, k, stub)
+        placement_rng = substream(config.seed, "placement", load, k, stub)
+
+        mean_service = config.expected_service_s()
+        total_rate = config.num_servers * load / mean_service
+        arrival_times = np.cumsum(arrivals_rng.exponential(1.0 / total_rate, num_requests))
+
+        client_time = config.client_base_s + config.client_extra_copy_s * (k - 1)
+        if not stub:
+            client_time += config.unmeasured_extra_copy_s * (k - 1)
+
+        if stub:
+            # Stub build: the memcached call is a no-op, so the response time
+            # is client processing only (plus its own small jitter).
+            jitter = service_rng.uniform(0.8, 1.2, num_requests)
+            response = client_time * jitter
+        else:
+            service_times = self._sample_service(service_rng, num_requests * k).reshape(
+                num_requests, k
+            )
+            placements = self._choose_servers(placement_rng, num_requests, k)
+            free_at = np.zeros(config.num_servers)
+            response = np.empty(num_requests)
+            for i in range(num_requests):
+                arrival = arrival_times[i]
+                best = np.inf
+                for j in range(k):
+                    server = placements[i, j]
+                    start = free_at[server] if free_at[server] > arrival else arrival
+                    finish = start + service_times[i, j]
+                    free_at[server] = finish
+                    elapsed = finish - arrival
+                    if elapsed < best:
+                        best = elapsed
+                response[i] = best + client_time
+
+        start = int(num_requests * warmup_fraction)
+        retained = response[start:]
+        return MemcachedRunResult(
+            load=float(load),
+            copies=k,
+            stub=stub,
+            response_times=retained,
+            summary=summarize(retained),
+        )
+
+    def _choose_servers(
+        self, rng: np.random.Generator, num_requests: int, copies: int
+    ) -> np.ndarray:
+        if copies == 1:
+            return rng.integers(0, self.config.num_servers, size=(num_requests, 1))
+        scores = rng.random((num_requests, self.config.num_servers))
+        return np.argpartition(scores, copies - 1, axis=1)[:, :copies]
+
+    def sweep(
+        self,
+        loads: Sequence[float],
+        copies_list: Sequence[int] = (1, 2),
+        num_requests: int = 50_000,
+    ) -> Dict[int, List[MemcachedRunResult]]:
+        """Load sweep per copy count, skipping saturated points (Figure 12)."""
+        results: Dict[int, List[MemcachedRunResult]] = {}
+        for k in copies_list:
+            per_copy: List[MemcachedRunResult] = []
+            for load in loads:
+                try:
+                    per_copy.append(self.run(load, copies=k, num_requests=num_requests))
+                except CapacityError:
+                    continue
+            results[int(k)] = per_copy
+        return results
+
+    def stub_comparison(
+        self, load: float = 0.001, num_requests: int = 50_000
+    ) -> Dict[str, MemcachedRunResult]:
+        """The Figure 13 comparison: real vs stub builds, 1 vs 2 copies, at low load.
+
+        Returns:
+            A dict with keys ``"real_1"``, ``"real_2"``, ``"stub_1"``, ``"stub_2"``.
+        """
+        return {
+            "real_1": self.run(load, copies=1, stub=False, num_requests=num_requests),
+            "real_2": self.run(load, copies=2, stub=False, num_requests=num_requests),
+            "stub_1": self.run(load, copies=1, stub=True, num_requests=num_requests),
+            "stub_2": self.run(load, copies=2, stub=True, num_requests=num_requests),
+        }

@@ -1,0 +1,168 @@
+"""The "should I replicate?" advisor.
+
+This module condenses the paper's guidance into a single decision helper:
+
+1. Estimate (or accept) the service's threshold load for the chosen
+   replication factor; the paper shows it always lies between ≈26% and 50%
+   when client-side overhead is negligible, and shrinks as overhead grows.
+2. Replication improves mean latency iff the current load is below that
+   threshold; it almost always improves the tail well beyond it, so the advice
+   distinguishes the two.
+3. If the caller supplies a traffic cost, the 16 ms/KB cost-effectiveness
+   benchmark of Section 3 is applied too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.costbenefit import DEFAULT_BREAK_EVEN_MS_PER_KB, CostBenefitAnalysis
+from repro.core.thresholds import threshold_load_simulated
+from repro.distributions.base import Distribution
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReplicationAdvice:
+    """The advisor's output.
+
+    Attributes:
+        replicate_for_mean: Whether replication is expected to reduce *mean*
+            latency at the given load.
+        replicate_for_tail: Whether replication is expected to reduce tail
+            latency (true in a wider range of conditions; it only fails when
+            client overhead rivals the whole latency budget).
+        threshold_load: The estimated threshold load used for the decision.
+        current_load: The load the decision was evaluated at.
+        overhead_fraction: Client-side overhead as a fraction of mean service
+            time.
+        cost_effective: Result of the ms/KB benchmark (``None`` when no
+            traffic cost was supplied).
+        reasons: Human-readable explanation of the decision.
+    """
+
+    replicate_for_mean: bool
+    replicate_for_tail: bool
+    threshold_load: float
+    current_load: float
+    overhead_fraction: float
+    cost_effective: Optional[bool]
+    reasons: List[str] = field(default_factory=list)
+
+
+def advise_replication(
+    service: Distribution,
+    load: float,
+    copies: int = 2,
+    client_overhead: float = 0.0,
+    extra_bytes_per_request: Optional[float] = None,
+    expected_latency_saving_ms: Optional[float] = None,
+    threshold: Optional[float] = None,
+    num_requests: int = 30_000,
+    seed: int = 0,
+) -> ReplicationAdvice:
+    """Advise whether to replicate requests to a service.
+
+    Args:
+        service: Service-time distribution of the backend (measured or
+            assumed).
+        load: Current per-server utilisation in ``[0, 1)``.
+        copies: Proposed replication factor.
+        client_overhead: Client-side cost per replicated request, same unit as
+            the service times.
+        extra_bytes_per_request: Extra traffic per request if replicated
+            (enables the cost-effectiveness check).
+        expected_latency_saving_ms: Expected latency saving in milliseconds
+            (required if ``extra_bytes_per_request`` is given).
+        threshold: Optionally supply a precomputed threshold load and skip the
+            simulation (useful in tests and when the caller already ran the
+            threshold search).
+        num_requests: Simulation size for the threshold estimate.
+        seed: Seed for the threshold simulation.
+
+    Returns:
+        A :class:`ReplicationAdvice`.
+
+    Raises:
+        ConfigurationError: On an invalid load, or a traffic cost without an
+            expected saving.
+    """
+    if not 0.0 <= load < 1.0:
+        raise ConfigurationError(f"load must be in [0, 1), got {load!r}")
+    if (extra_bytes_per_request is None) != (expected_latency_saving_ms is None):
+        raise ConfigurationError(
+            "provide both extra_bytes_per_request and expected_latency_saving_ms, or neither"
+        )
+
+    mean_service = service.mean()
+    overhead_fraction = client_overhead / mean_service if mean_service > 0 else 0.0
+    reasons: List[str] = []
+
+    if threshold is None:
+        if copies * load >= 0.98:
+            threshold = 0.0
+            reasons.append(
+                f"replicated utilisation {copies * load:.2f} would saturate the system"
+            )
+        else:
+            threshold = threshold_load_simulated(
+                service,
+                copies=copies,
+                client_overhead=client_overhead,
+                num_requests=num_requests,
+                seed=seed,
+            )
+            reasons.append(
+                f"threshold load estimated by simulation: {threshold:.1%} "
+                f"(paper's band is 25-50% when overhead is negligible)"
+            )
+    else:
+        reasons.append(f"threshold load supplied by caller: {threshold:.1%}")
+
+    replicate_for_mean = load < threshold
+    if replicate_for_mean:
+        reasons.append(
+            f"current load {load:.1%} is below the threshold, so replication should "
+            "reduce mean latency"
+        )
+    else:
+        reasons.append(
+            f"current load {load:.1%} is at or above the threshold, so replication is "
+            "expected to increase mean latency"
+        )
+
+    # Tail latency benefits persist as long as the per-copy overhead does not
+    # dominate the latency budget; the paper's memcached case (overhead ~9% of
+    # a ~0.2 ms service time at 10%+ load) is the canonical failure.
+    replicate_for_tail = overhead_fraction < 1.0 and copies * load < 0.9
+    if replicate_for_tail:
+        reasons.append("tail latency should improve: overhead is below the mean service time")
+    else:
+        reasons.append(
+            "tail latency is unlikely to improve: client overhead or load is too high"
+        )
+
+    cost_effective: Optional[bool] = None
+    if extra_bytes_per_request is not None and expected_latency_saving_ms is not None:
+        analysis = CostBenefitAnalysis(
+            latency_saved_ms=expected_latency_saving_ms,
+            extra_bytes=extra_bytes_per_request,
+            break_even_ms_per_kb=DEFAULT_BREAK_EVEN_MS_PER_KB,
+        )
+        cost_effective = analysis.worthwhile
+        reasons.append(
+            f"cost-effectiveness: {analysis.savings_ms_per_kb:.1f} ms/KB vs the "
+            f"{DEFAULT_BREAK_EVEN_MS_PER_KB:.0f} ms/KB break-even "
+            f"({'worthwhile' if cost_effective else 'not worthwhile'})"
+        )
+
+    return ReplicationAdvice(
+        replicate_for_mean=replicate_for_mean,
+        replicate_for_tail=replicate_for_tail,
+        threshold_load=float(threshold),
+        current_load=float(load),
+        overhead_fraction=float(overhead_fraction),
+        cost_effective=cost_effective,
+        reasons=reasons,
+    )

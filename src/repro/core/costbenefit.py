@@ -1,0 +1,112 @@
+"""Cost-benefit analysis of redundancy (Section 3's 16 ms/KB benchmark).
+
+When resources are elastic (wide-area bandwidth, cloud billing) rather than a
+fixed pool, replication is worthwhile when the latency it saves is worth more
+than the extra traffic it sends.  The paper adopts the benchmark of Vulimiri
+et al.'s companion study: redundancy pays off when it saves at least
+**16 milliseconds of latency per kilobyte of extra traffic**.
+
+This module packages that comparison: absolute savings
+(:class:`CostBenefitAnalysis`), and the marginal analysis of Figure 17 (is the
+*next* copy still worth it?) via :func:`marginal_cost_benefit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+#: The paper's break-even point: replication is cost-effective when it saves at
+#: least this many milliseconds of latency per KB of added traffic.
+DEFAULT_BREAK_EVEN_MS_PER_KB: float = 16.0
+
+
+@dataclass(frozen=True)
+class CostBenefitAnalysis:
+    """Latency savings versus added traffic for one replication decision.
+
+    Attributes:
+        latency_saved_ms: Latency saved per operation, in milliseconds (mean or
+            a tail percentile, depending on what the caller cares about).
+        extra_bytes: Extra traffic added per operation, in bytes.
+        break_even_ms_per_kb: The threshold the savings are compared against
+            (defaults to the paper's 16 ms/KB).
+    """
+
+    latency_saved_ms: float
+    extra_bytes: float
+    break_even_ms_per_kb: float = DEFAULT_BREAK_EVEN_MS_PER_KB
+
+    def __post_init__(self) -> None:
+        if self.extra_bytes <= 0:
+            raise ConfigurationError(
+                f"extra_bytes must be positive, got {self.extra_bytes!r}"
+            )
+        if self.break_even_ms_per_kb <= 0:
+            raise ConfigurationError(
+                f"break_even_ms_per_kb must be positive, got {self.break_even_ms_per_kb!r}"
+            )
+
+    @property
+    def savings_ms_per_kb(self) -> float:
+        """Latency saved per kilobyte of extra traffic (the paper's unit)."""
+        return self.latency_saved_ms / (self.extra_bytes / 1000.0)
+
+    @property
+    def worthwhile(self) -> bool:
+        """Whether the savings exceed the break-even threshold."""
+        return self.savings_ms_per_kb > self.break_even_ms_per_kb
+
+    @property
+    def margin_factor(self) -> float:
+        """How many times the break-even threshold the savings represent.
+
+        The paper reports e.g. "more than an order of magnitude larger than
+        this threshold"; this property is that factor.
+        """
+        return self.savings_ms_per_kb / self.break_even_ms_per_kb
+
+
+def marginal_cost_benefit(
+    latencies_ms_by_copies: Sequence[float],
+    bytes_per_copy: float,
+    break_even_ms_per_kb: float = DEFAULT_BREAK_EVEN_MS_PER_KB,
+) -> List[CostBenefitAnalysis]:
+    """Marginal analysis: is each *additional* copy worth its extra traffic?
+
+    This is Figure 17's computation: given the achieved latency (mean or a
+    percentile) as a function of the number of copies, compute the incremental
+    latency saving of going from ``k`` to ``k+1`` copies and compare it with
+    the traffic cost of that one extra copy.
+
+    Args:
+        latencies_ms_by_copies: ``latencies_ms_by_copies[i]`` is the latency
+            achieved with ``i + 1`` copies (so the first entry is the
+            unreplicated baseline).  At least two entries.
+        bytes_per_copy: Extra bytes added by each additional copy (query +
+            response size; the paper's DNS analysis uses ≈500 bytes).
+        break_even_ms_per_kb: The break-even threshold.
+
+    Returns:
+        One :class:`CostBenefitAnalysis` per increment; entry ``i`` describes
+        going from ``i + 1`` to ``i + 2`` copies.  Negative marginal savings
+        are preserved (they simply yield ``worthwhile == False``).
+
+    Raises:
+        ConfigurationError: If fewer than two latencies are given.
+    """
+    if len(latencies_ms_by_copies) < 2:
+        raise ConfigurationError("need latencies for at least 1 and 2 copies")
+    analyses: List[CostBenefitAnalysis] = []
+    for i in range(len(latencies_ms_by_copies) - 1):
+        saved = float(latencies_ms_by_copies[i]) - float(latencies_ms_by_copies[i + 1])
+        analyses.append(
+            CostBenefitAnalysis(
+                latency_saved_ms=saved,
+                extra_bytes=bytes_per_copy,
+                break_even_ms_per_kb=break_even_ms_per_kb,
+            )
+        )
+    return analyses

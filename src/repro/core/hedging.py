@@ -1,0 +1,313 @@
+"""Asyncio execution of redundant requests.
+
+"Initiate an operation multiple times, using as diverse resources as possible,
+and use the first result which completes" — this module is that sentence as
+code.  Copies are launched according to a :class:`~repro.core.policy.ReplicationPolicy`
+(eagerly, or hedged after a delay), the first successful completion wins, and
+the losing copies are cancelled.
+
+The functions are transport-agnostic: a "backend" is any zero-argument
+callable returning an awaitable, so the same client wraps DNS lookups, HTTP
+fetches, database reads or anything else.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Awaitable, Callable, Generic, List, Optional, Sequence, TypeVar
+
+from repro.core.policy import KCopies, ReplicationPolicy
+from repro.core.selection import SelectionStrategy, UniformRandom
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+RequestFactory = Callable[[], Awaitable[T]]
+
+
+@dataclass
+class HedgedResult(Generic[T]):
+    """Outcome of a hedged call.
+
+    Attributes:
+        value: The value returned by the winning copy.
+        winner: Index (into the launched copies) of the copy that won.
+        copies_launched: How many copies were actually started (a hedge whose
+            delay never expired is not counted).
+        elapsed: Wall-clock seconds from the first launch to the winning
+            completion.
+        errors: Exceptions raised by copies that failed before the winner
+            completed (empty when everything succeeded).
+    """
+
+    value: T
+    winner: int
+    copies_launched: int
+    elapsed: float
+    errors: List[BaseException]
+
+
+async def first_completed(
+    awaitables: Sequence[Awaitable[T]],
+    cancel_losers: bool = True,
+) -> T:
+    """Return the result of the first awaitable to complete successfully.
+
+    Failed copies are tolerated as long as at least one succeeds; if every
+    copy fails, the exception of the last failure is raised.
+
+    Args:
+        awaitables: Non-empty sequence of awaitables to race.
+        cancel_losers: Cancel the still-pending copies once a winner is found
+            (the redundant-operation analogue of the paper's note that Google
+            cancels outstanding partially-completed requests).
+
+    Raises:
+        ConfigurationError: If ``awaitables`` is empty.
+        BaseException: The last copy's exception if all copies fail.
+    """
+    if not awaitables:
+        raise ConfigurationError("first_completed needs at least one awaitable")
+    tasks = [asyncio.ensure_future(a) for a in awaitables]
+    pending = set(tasks)
+    last_error: Optional[BaseException] = None
+    try:
+        while pending:
+            done, pending = await asyncio.wait(pending, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                if task.cancelled():
+                    continue
+                error = task.exception()
+                if error is None:
+                    return task.result()
+                last_error = error
+        assert last_error is not None
+        raise last_error
+    finally:
+        if cancel_losers:
+            for task in tasks:
+                if not task.done():
+                    task.cancel()
+            # Give cancelled tasks a chance to unwind so no "Task exception was
+            # never retrieved" warnings leak out of the library.
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+async def hedged_call(
+    factories: Sequence[RequestFactory[T]],
+    policy: Optional[ReplicationPolicy] = None,
+    cancel_losers: bool = True,
+) -> HedgedResult[T]:
+    """Run redundant copies of an operation according to ``policy``.
+
+    Args:
+        factories: One zero-argument coroutine factory per *potential* copy;
+            ``factories[i]`` is used for the ``i``-th launched copy.  Provide
+            as many factories as the policy's ``max_copies`` (extra factories
+            are ignored; too few is an error).
+        policy: The replication policy; defaults to eager 2-copy replication
+            (:class:`~repro.core.policy.KCopies` with ``copies=2``), the
+            paper's canonical scheme.
+        cancel_losers: Cancel outstanding copies once a winner completes.
+
+    Returns:
+        A :class:`HedgedResult` describing the winner.
+
+    Raises:
+        ConfigurationError: If there are fewer factories than copies.
+        BaseException: If every launched copy fails, the last failure.
+    """
+    if policy is None:
+        policy = KCopies(2)
+    delays = policy.launch_delays()
+    if len(factories) < len(delays):
+        raise ConfigurationError(
+            f"policy wants up to {len(delays)} copies but only "
+            f"{len(factories)} request factories were provided"
+        )
+
+    start = time.perf_counter()
+    errors: List[BaseException] = []
+    launched: List[asyncio.Task] = []
+    winner_index: Optional[int] = None
+    winner_value: Optional[T] = None
+
+    async def launch(index: int, delay: float) -> tuple[int, T]:
+        if delay > 0:
+            await asyncio.sleep(delay)
+        value = await factories[index]()
+        return index, value
+
+    tasks = [asyncio.ensure_future(launch(i, d)) for i, d in enumerate(delays)]
+    launched.extend(tasks)
+    pending = set(tasks)
+    try:
+        while pending and winner_index is None:
+            done, pending = await asyncio.wait(pending, return_when=asyncio.FIRST_COMPLETED)
+            for task in done:
+                if task.cancelled():
+                    continue
+                error = task.exception()
+                if error is not None:
+                    errors.append(error)
+                    continue
+                winner_index, winner_value = task.result()
+                break
+        if winner_index is None:
+            raise errors[-1]
+    finally:
+        if cancel_losers:
+            for task in launched:
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(*launched, return_exceptions=True)
+
+    elapsed = time.perf_counter() - start
+    copies_launched = sum(1 for i, d in enumerate(delays) if d <= elapsed or i == winner_index)
+    policy.record_latency(elapsed)
+    return HedgedResult(
+        value=winner_value,  # type: ignore[arg-type]
+        winner=winner_index,
+        copies_launched=copies_launched,
+        elapsed=elapsed,
+        errors=errors,
+    )
+
+
+class LatencyTracker:
+    """A bounded window of observed latencies with percentile queries.
+
+    Used by adaptive hedging and by the advisor to summarise what a backend's
+    latency distribution currently looks like.
+    """
+
+    def __init__(self, window: int = 10_000) -> None:
+        """Track at most ``window`` recent latencies."""
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window!r}")
+        self.window = int(window)
+        self._samples: List[float] = []
+
+    def record(self, latency: float) -> None:
+        """Add one latency observation (seconds, >= 0)."""
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+        self._samples.append(float(latency))
+        if len(self._samples) > self.window:
+            del self._samples[: len(self._samples) - self.window]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the recorded latencies.
+
+        Raises:
+            ConfigurationError: If no latencies have been recorded or ``q`` is
+                out of range.
+        """
+        if not self._samples:
+            raise ConfigurationError("no latencies recorded yet")
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"q must be in [0, 100], got {q!r}")
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[index]
+
+    def mean(self) -> float:
+        """Mean of the recorded latencies."""
+        if not self._samples:
+            raise ConfigurationError("no latencies recorded yet")
+        return sum(self._samples) / len(self._samples)
+
+
+class RedundantClient(Generic[T]):
+    """Issue requests redundantly across a set of backends.
+
+    A backend is a callable ``backend(key) -> awaitable``; the client picks
+    which backends receive copies (via a
+    :class:`~repro.core.selection.SelectionStrategy`), launches the copies
+    according to its policy, returns the first completion and records the
+    observed latency for adaptive policies.
+
+    Example:
+        >>> import asyncio
+        >>> async def backend_a(key): return ("a", key)
+        >>> async def backend_b(key): return ("b", key)
+        >>> client = RedundantClient([backend_a, backend_b])
+        >>> asyncio.run(client.request("x")).value[1]
+        'x'
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[Callable[..., Awaitable[T]]],
+        policy: Optional[ReplicationPolicy] = None,
+        selection: Optional[SelectionStrategy] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Create a client over ``backends``.
+
+        Args:
+            backends: Non-empty sequence of backend callables.
+            policy: Replication policy (default: eager 2 copies, capped at the
+                number of backends).
+            selection: Backend selection strategy (default: uniform random
+                distinct backends, the Section 2.1 model).
+            seed: Seed for the selection strategy's randomness.
+        """
+        if not backends:
+            raise ConfigurationError("RedundantClient needs at least one backend")
+        self.backends = list(backends)
+        if policy is None:
+            policy = KCopies(min(2, len(self.backends)))
+        self.policy = policy
+        self.selection = selection or UniformRandom(seed=seed)
+        self.tracker = LatencyTracker()
+
+    async def request(self, *args, key: Optional[object] = None, **kwargs) -> HedgedResult[T]:
+        """Issue one redundant request.
+
+        Args:
+            *args: Positional arguments forwarded to each backend call.
+            key: Optional request key.  It is used by key-aware selection
+                strategies (e.g. consistent-hash primary/secondary placement)
+                and, when provided, is passed to the backend as its first
+                positional argument.
+            **kwargs: Keyword arguments forwarded to each backend call.
+
+        Returns:
+            The :class:`HedgedResult` of the winning copy.
+        """
+        delays = self.policy.launch_delays()
+        copies = min(len(delays), len(self.backends))
+        chosen = self.selection.choose(len(self.backends), copies, key=key)
+        call_args = args if key is None else (key, *args)
+        factories: List[RequestFactory[T]] = [
+            (lambda b=self.backends[index]: b(*call_args, **kwargs)) for index in chosen
+        ]
+        # Cap the policy's plan at the number of available backends, keeping
+        # the launch schedule (a 3-copy policy over 2 backends degrades to a
+        # 2-copy one rather than erroring).
+        effective_policy: ReplicationPolicy = (
+            self.policy if copies == len(delays) else _FixedDelays(delays[:copies], self.policy)
+        )
+        result = await hedged_call(factories, policy=effective_policy)
+        self.tracker.record(result.elapsed)
+        return result
+
+
+class _FixedDelays(ReplicationPolicy):
+    """Internal adapter: a fixed launch schedule that forwards latency feedback."""
+
+    def __init__(self, delays: Sequence[float], parent: ReplicationPolicy) -> None:
+        self._delays = list(delays)
+        self._parent = parent
+
+    def launch_delays(self) -> List[float]:
+        return list(self._delays)
+
+    def record_latency(self, latency: float) -> None:
+        self._parent.record_latency(latency)

@@ -1,0 +1,160 @@
+"""Replication and hedging policies.
+
+A policy answers one question: *for this request, how many copies should be
+issued, and after what delays?*  The answer is a list of launch delays in
+seconds — ``[0.0]`` means a single un-replicated request, ``[0.0, 0.0]`` means
+the paper's eager 2-copy replication, ``[0.0, 0.010]`` means a hedge fired
+after 10 ms (Dean & Barroso's "hedged request", discussed in the paper's
+related work as a variant that trades a little mean improvement for much less
+added load).
+
+Policies are shared between the asyncio executor (:mod:`repro.core.hedging`)
+and the simulators, which is what makes ablation experiments (eager vs
+deferred hedging) a one-line change.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError
+
+
+class ReplicationPolicy(abc.ABC):
+    """Decides how many copies of a request to launch and when."""
+
+    @abc.abstractmethod
+    def launch_delays(self) -> List[float]:
+        """Delays (seconds, relative to the request) at which to launch copies.
+
+        The first entry is always 0.0 (the original request).  The length of
+        the list is the total number of copies, including the original.
+        """
+
+    @property
+    def max_copies(self) -> int:
+        """Upper bound on the number of copies this policy can launch."""
+        return len(self.launch_delays())
+
+    def record_latency(self, latency: float) -> None:
+        """Feed an observed request latency back into the policy.
+
+        Adaptive policies (e.g. :class:`HedgeOnPercentile`) use this to set
+        their hedge delay; static policies ignore it.
+        """
+
+
+class NoReplication(ReplicationPolicy):
+    """The baseline: a single copy, no redundancy."""
+
+    def launch_delays(self) -> List[float]:
+        """Always ``[0.0]``."""
+        return [0.0]
+
+
+class KCopies(ReplicationPolicy):
+    """Eager replication: launch ``k`` copies immediately (the paper's scheme)."""
+
+    def __init__(self, copies: int = 2) -> None:
+        """Create an eager policy with ``copies`` total copies (>= 1)."""
+        if copies < 1 or int(copies) != copies:
+            raise ConfigurationError(f"copies must be a positive integer, got {copies!r}")
+        self.copies = int(copies)
+
+    def launch_delays(self) -> List[float]:
+        """``copies`` zeros: every copy is launched immediately."""
+        return [0.0] * self.copies
+
+
+class HedgeAfterDelay(ReplicationPolicy):
+    """Deferred hedging: launch a backup copy only if the first is still pending.
+
+    This is the classic "hedged request": the duplicate is issued after a
+    fixed delay, so most requests (those that complete quickly) never incur
+    the extra load.  Compared with eager :class:`KCopies` it adds far less
+    utilisation but recovers less of the mean-latency benefit — the ablation
+    benchmark quantifies the difference.
+    """
+
+    def __init__(self, delay: float, extra_copies: int = 1) -> None:
+        """Create a deferred-hedge policy.
+
+        Args:
+            delay: Seconds to wait before launching each backup copy (>= 0).
+            extra_copies: Number of backup copies (>= 1).
+        """
+        if delay < 0:
+            raise ConfigurationError(f"delay must be >= 0, got {delay!r}")
+        if extra_copies < 1 or int(extra_copies) != extra_copies:
+            raise ConfigurationError(
+                f"extra_copies must be a positive integer, got {extra_copies!r}"
+            )
+        self.delay = float(delay)
+        self.extra_copies = int(extra_copies)
+
+    def launch_delays(self) -> List[float]:
+        """``[0, delay, 2*delay, ...]`` — backups are staggered."""
+        return [0.0] + [self.delay * (i + 1) for i in range(self.extra_copies)]
+
+
+class HedgeOnPercentile(ReplicationPolicy):
+    """Adaptive hedging: the backup fires at an observed latency percentile.
+
+    The hedge delay tracks the ``percentile``-th percentile of recently
+    observed latencies (e.g. fire the backup once the request has been
+    outstanding longer than 95% of requests normally take).  Until enough
+    latencies have been observed, the policy falls back to
+    ``initial_delay``.
+    """
+
+    def __init__(
+        self,
+        percentile: float = 95.0,
+        initial_delay: float = 0.05,
+        window: int = 1000,
+        extra_copies: int = 1,
+    ) -> None:
+        """Create an adaptive hedge policy.
+
+        Args:
+            percentile: Latency percentile (0-100, exclusive of the ends) at
+                which the backup fires.
+            initial_delay: Hedge delay used before any latencies are recorded.
+            window: Number of most recent latencies to keep.
+            extra_copies: Number of backup copies.
+        """
+        if not 0.0 < percentile < 100.0:
+            raise ConfigurationError(f"percentile must be in (0, 100), got {percentile!r}")
+        if initial_delay < 0:
+            raise ConfigurationError(f"initial_delay must be >= 0, got {initial_delay!r}")
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window!r}")
+        if extra_copies < 1:
+            raise ConfigurationError(f"extra_copies must be >= 1, got {extra_copies!r}")
+        self.percentile = float(percentile)
+        self.initial_delay = float(initial_delay)
+        self.window = int(window)
+        self.extra_copies = int(extra_copies)
+        self._latencies: List[float] = []
+
+    def record_latency(self, latency: float) -> None:
+        """Add an observed latency (seconds) to the sliding window."""
+        if latency < 0:
+            raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
+        self._latencies.append(float(latency))
+        if len(self._latencies) > self.window:
+            del self._latencies[: len(self._latencies) - self.window]
+
+    def current_delay(self) -> float:
+        """The hedge delay that would be used for the next request."""
+        if len(self._latencies) < 10:
+            return self.initial_delay
+        ordered = sorted(self._latencies)
+        index = min(len(ordered) - 1, int(len(ordered) * self.percentile / 100.0))
+        return ordered[index]
+
+    def launch_delays(self) -> List[float]:
+        """``[0, d, 2d, ...]`` where ``d`` is the current percentile delay."""
+        delay = self.current_delay()
+        return [0.0] + [delay * (i + 1) for i in range(self.extra_copies)]

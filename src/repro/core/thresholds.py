@@ -1,0 +1,115 @@
+"""When does system-wide replication help?  (Section 2.1 packaged as an API.)
+
+The paper's answer, exposed here as constants and functions:
+
+* With exponential service times the threshold load is exactly **1/3**
+  (Theorem 1) — :func:`exponential_threshold_load`.
+* No distribution has a threshold above **50%** (2x the load would saturate
+  the system) — :data:`THRESHOLD_UPPER_BOUND`.
+* The conjectured worst case is deterministic service, threshold **≈25.8%**
+  (Conjecture 1) — :data:`CONJECTURED_LOWER_BOUND`.
+* For anything in between, estimate the threshold by simulation
+  (:func:`threshold_load_simulated`) or by the light-tail approximation
+  (:func:`threshold_load_approximated`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.distributions.base import Distribution
+from repro.queueing.mm1 import mm1_threshold_load
+from repro.queueing.threshold import (
+    DETERMINISTIC_THRESHOLD_ESTIMATE,
+    THRESHOLD_UPPER_BOUND,
+    threshold_load,
+    threshold_load_approximation,
+)
+
+#: Conjecture 1's lower bound: the deterministic-service threshold (≈25.82%).
+CONJECTURED_LOWER_BOUND: float = DETERMINISTIC_THRESHOLD_ESTIMATE
+
+__all__ = [
+    "CONJECTURED_LOWER_BOUND",
+    "THRESHOLD_UPPER_BOUND",
+    "exponential_threshold_load",
+    "threshold_load_simulated",
+    "threshold_load_approximated",
+    "threshold_band",
+]
+
+
+def exponential_threshold_load(copies: int = 2) -> float:
+    """Theorem 1: the exact threshold load for exponential service times.
+
+    Args:
+        copies: Replication factor ``k`` (>= 2); the threshold is
+            ``1 / (k + 1)``, i.e. 1/3 for the paper's ``k = 2``.
+    """
+    return mm1_threshold_load(copies)
+
+
+def threshold_load_simulated(
+    service: Distribution,
+    copies: int = 2,
+    client_overhead: float = 0.0,
+    num_servers: int = 10,
+    num_requests: int = 40_000,
+    seed: int = 0,
+    tolerance: float = 0.01,
+) -> float:
+    """Estimate the threshold load for an arbitrary service distribution.
+
+    Thin, documented wrapper over :func:`repro.queueing.threshold.threshold_load`
+    so that library users reaching for "when should I replicate?" don't need to
+    know the queueing package layout.
+
+    Args:
+        service: Service-time distribution of the backend.
+        copies: Replication factor.
+        client_overhead: Fixed client-side cost per replicated request, in the
+            same unit as the service times.
+        num_servers: Number of servers in the simulated system.
+        num_requests: Requests per simulation run (larger = smoother estimate).
+        seed: Seed for reproducibility.
+        tolerance: Bisection width at which the search stops.
+
+    Returns:
+        The estimated threshold load in ``[0, 1/copies)``.
+    """
+    return threshold_load(
+        service,
+        copies=copies,
+        num_servers=num_servers,
+        num_requests=num_requests,
+        client_overhead=client_overhead,
+        seed=seed,
+        tolerance=tolerance,
+    )
+
+
+def threshold_load_approximated(
+    service: Distribution,
+    copies: int = 2,
+    client_overhead: float = 0.0,
+) -> float:
+    """Threshold load under the two-moment (light-tail) approximation.
+
+    Faster than simulation and adequate for light-tailed service times; for
+    heavy tails use :func:`threshold_load_simulated`.
+    """
+    return threshold_load_approximation(
+        service, copies=copies, client_overhead=client_overhead
+    )
+
+
+def threshold_band(copies: int = 2) -> tuple[float, float]:
+    """The paper's overall answer: the threshold lies in roughly (26%, 50%).
+
+    Returns:
+        ``(lower, upper)`` where ``lower`` is the conjectured deterministic
+        worst case and ``upper`` is the capacity bound ``1/copies`` capped at
+        0.5 for the canonical 2-copy case.
+    """
+    upper = min(THRESHOLD_UPPER_BOUND, 1.0 / copies)
+    return CONJECTURED_LOWER_BOUND, upper

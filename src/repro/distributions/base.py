@@ -1,0 +1,108 @@
+"""Common interface for all distributions in the package."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import DistributionError
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+class Distribution(abc.ABC):
+    """A one-dimensional, non-negative probability distribution.
+
+    Subclasses must implement :meth:`sample` and :meth:`mean`; they should
+    implement :meth:`variance` whenever a finite second moment exists (and
+    return ``math.inf`` when it does not), because the queueing
+    approximations use the squared coefficient of variation.
+    """
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayOrFloat:
+        """Draw one sample (``size=None``) or an array of ``size`` samples."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The distribution mean (must be finite and positive)."""
+
+    def variance(self) -> float:
+        """The distribution variance (``math.inf`` if it does not exist)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not provide an analytic variance"
+        )
+
+    def second_moment(self) -> float:
+        """E[X^2], derived from mean and variance."""
+        var = self.variance()
+        if math.isinf(var):
+            return math.inf
+        return var + self.mean() ** 2
+
+    def cv2(self) -> float:
+        """Squared coefficient of variation: Var[X] / E[X]^2."""
+        var = self.variance()
+        if math.isinf(var):
+            return math.inf
+        return var / self.mean() ** 2
+
+    def scaled_to_mean(self, target_mean: float) -> "Distribution":
+        """Return this distribution rescaled so its mean is ``target_mean``.
+
+        Scaling is multiplicative (``Y = c·X``), which preserves the shape and
+        the coefficient of variation — the property the Section 2.1 analysis
+        cares about.
+        """
+        if target_mean <= 0:
+            raise DistributionError(f"target_mean must be positive, got {target_mean!r}")
+        factor = target_mean / self.mean()
+        return ScaledDistribution(self, factor)
+
+    def unit_mean(self) -> "Distribution":
+        """Return this distribution rescaled to mean 1 (paper's convention)."""
+        return self.scaled_to_mean(1.0)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in benchmark output."""
+        var = None
+        try:
+            var = self.variance()
+        except NotImplementedError:
+            pass
+        if var is None:
+            return f"{type(self).__name__}(mean={self.mean():.4g})"
+        return f"{type(self).__name__}(mean={self.mean():.4g}, var={var:.4g})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+class ScaledDistribution(Distribution):
+    """A distribution multiplied by a positive constant ``factor``.
+
+    Produced by :meth:`Distribution.scaled_to_mean`; exposed publicly so the
+    analytics can recognise and unwrap it if they need the base shape.
+    """
+
+    def __init__(self, base: Distribution, factor: float) -> None:
+        """Wrap ``base`` so every sample is multiplied by ``factor``."""
+        if factor <= 0:
+            raise DistributionError(f"scale factor must be positive, got {factor!r}")
+        self.base = base
+        self.factor = float(factor)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayOrFloat:
+        return self.base.sample(rng, size) * self.factor
+
+    def mean(self) -> float:
+        return self.base.mean() * self.factor
+
+    def variance(self) -> float:
+        base_var = self.base.variance()
+        if math.isinf(base_var):
+            return math.inf
+        return base_var * self.factor**2

@@ -1,0 +1,148 @@
+"""Discrete distributions, including the Figure 3 random families.
+
+The paper probes its worst-case conjecture (Conjecture 1: deterministic
+service time minimises the threshold load) by sampling random unit-mean
+discrete distributions with support ``{1, 2, ..., N}`` in two ways — uniformly
+over the probability simplex and from a symmetric Dirichlet with concentration
+0.1 — and checking that every sampled distribution has a threshold load above
+the deterministic ≈25.8% bound.  :func:`random_unit_mean_discrete` reproduces
+that sampling procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayOrFloat, Distribution
+from repro.exceptions import DistributionError
+
+
+class DiscreteDistribution(Distribution):
+    """A finite discrete distribution over arbitrary non-negative values.
+
+    Attributes:
+        values: The support points (non-negative floats).
+        probs: The probability of each support point (sums to 1).
+    """
+
+    def __init__(self, values: Sequence[float], probs: Sequence[float]) -> None:
+        """Create a discrete distribution on ``values`` with weights ``probs``.
+
+        Raises:
+            DistributionError: If lengths differ, any value is negative, any
+                probability is negative, or the probabilities do not sum to 1
+                (tolerance 1e-9).
+        """
+        if len(values) != len(probs) or len(values) == 0:
+            raise DistributionError("values and probs must be equal-length and non-empty")
+        values_arr = np.asarray(values, dtype=float)
+        probs_arr = np.asarray(probs, dtype=float)
+        if np.any(values_arr < 0):
+            raise DistributionError("support values must be non-negative")
+        if np.any(probs_arr < 0) or abs(float(probs_arr.sum()) - 1.0) > 1e-9:
+            raise DistributionError("probabilities must be non-negative and sum to 1")
+        self.values = values_arr
+        self.probs = probs_arr
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayOrFloat:
+        n = 1 if size is None else int(size)
+        idx = rng.choice(len(self.values), size=n, p=self.probs)
+        out = self.values[idx]
+        if size is None:
+            return float(out[0])
+        return out
+
+    def mean(self) -> float:
+        return float(np.dot(self.probs, self.values))
+
+    def variance(self) -> float:
+        second = float(np.dot(self.probs, self.values**2))
+        return second - self.mean() ** 2
+
+    def normalized(self) -> "DiscreteDistribution":
+        """Return a copy rescaled to unit mean (the paper's convention)."""
+        mean = self.mean()
+        if mean <= 0:
+            raise DistributionError("cannot normalise a distribution with zero mean")
+        return DiscreteDistribution(self.values / mean, self.probs)
+
+
+class TwoPoint(Distribution):
+    """The paper's two-point service-time family (Figure 2(c)).
+
+    Service time is ``0.5`` with probability ``p`` and ``(1 - 0.5·p)/(1 - p)``
+    with probability ``1 - p``, which keeps the mean at exactly 1 while the
+    variance grows without bound as ``p -> 1``.  At ``p = 0`` the distribution
+    is deterministic (the conjectured worst case).
+    """
+
+    def __init__(self, p: float, low: float = 0.5) -> None:
+        """Create the two-point family member with parameter ``p`` in ``[0, 1)``.
+
+        Args:
+            p: Probability of the low value.
+            low: The low value (0.5 in the paper); must satisfy ``0 < low < 1``
+                so that the complementary high value stays positive.
+        """
+        if not 0.0 <= p < 1.0:
+            raise DistributionError(f"p must be in [0, 1), got {p!r}")
+        if not 0.0 < low < 1.0:
+            raise DistributionError(f"low must be in (0, 1), got {low!r}")
+        self.p = float(p)
+        self.low = float(low)
+        self.high = (1.0 - self.low * self.p) / (1.0 - self.p)
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayOrFloat:
+        u = rng.uniform(0.0, 1.0, size)
+        out = np.where(u < self.p, self.low, self.high)
+        if size is None:
+            return float(out)
+        return out
+
+    def mean(self) -> float:
+        return self.p * self.low + (1.0 - self.p) * self.high
+
+    def variance(self) -> float:
+        second = self.p * self.low**2 + (1.0 - self.p) * self.high**2
+        return second - self.mean() ** 2
+
+
+def random_unit_mean_discrete(
+    support_size: int,
+    rng: np.random.Generator,
+    method: str = "uniform",
+    concentration: float = 0.1,
+) -> DiscreteDistribution:
+    """Sample a random unit-mean discrete distribution with support ``{1..N}``.
+
+    This reproduces the Figure 3 sampling procedure: draw a probability vector
+    over ``{1, 2, ..., support_size}`` either uniformly from the simplex
+    (``method="uniform"``, i.e. Dirichlet(1)) or from a symmetric
+    Dirichlet(``concentration``) (``method="dirichlet"``, concentration 0.1 in
+    the paper), then rescale the support so the mean is exactly 1.
+
+    Args:
+        support_size: Number of support points ``N`` (>= 1).
+        rng: Random generator used for the draw.
+        method: ``"uniform"`` or ``"dirichlet"``.
+        concentration: Dirichlet concentration when ``method="dirichlet"``.
+
+    Returns:
+        A unit-mean :class:`DiscreteDistribution`.
+
+    Raises:
+        DistributionError: On an unknown method or non-positive support size.
+    """
+    if support_size < 1:
+        raise DistributionError(f"support_size must be >= 1, got {support_size!r}")
+    if method == "uniform":
+        probs = rng.dirichlet(np.ones(support_size))
+    elif method == "dirichlet":
+        probs = rng.dirichlet(np.full(support_size, float(concentration)))
+    else:
+        raise DistributionError(f"unknown sampling method {method!r}")
+    values = np.arange(1, support_size + 1, dtype=float)
+    dist = DiscreteDistribution(values, probs)
+    return dist.normalized()

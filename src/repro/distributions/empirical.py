@@ -1,0 +1,59 @@
+"""Empirical distributions built from observed samples.
+
+Used to feed measured latency samples back into the analytics (e.g. the
+"should I replicate?" advisor takes an :class:`Empirical` built from a
+service's latency log) and to resample datacenter flow-size traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import ArrayOrFloat, Distribution
+from repro.exceptions import DistributionError
+
+
+class Empirical(Distribution):
+    """The empirical distribution of a set of observed samples.
+
+    Sampling draws uniformly (with replacement) from the stored samples, i.e.
+    this is the bootstrap distribution of the data.
+    """
+
+    def __init__(self, samples: Sequence[float]) -> None:
+        """Create the empirical distribution of ``samples``.
+
+        Raises:
+            DistributionError: If ``samples`` is empty or contains negative
+                values.
+        """
+        data = np.asarray(samples, dtype=float)
+        if data.size == 0:
+            raise DistributionError("samples must be non-empty")
+        if np.any(data < 0):
+            raise DistributionError("samples must be non-negative")
+        self.samples = data
+
+    def sample(self, rng: np.random.Generator, size: Optional[int] = None) -> ArrayOrFloat:
+        n = 1 if size is None else int(size)
+        out = rng.choice(self.samples, size=n, replace=True)
+        if size is None:
+            return float(out[0])
+        return out
+
+    def mean(self) -> float:
+        return float(self.samples.mean())
+
+    def variance(self) -> float:
+        return float(self.samples.var())
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``) of the stored samples."""
+        if not 0.0 <= q <= 100.0:
+            raise DistributionError(f"percentile must be in [0, 100], got {q!r}")
+        return float(np.percentile(self.samples, q))
+
+    def __len__(self) -> int:
+        return int(self.samples.size)

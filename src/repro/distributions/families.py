@@ -1,0 +1,73 @@
+"""The three unit-mean service-time families swept in Figure 2.
+
+Each family is parameterised by a single number on ``[0, right_edge)`` such
+that the variance is 0 at the left edge and grows to infinity at the right
+edge, matching the x-axes of Figures 2(a)-(c):
+
+* :func:`weibull_family` — inverse shape parameter ``gamma`` (x-axis 0..18):
+  Weibull with shape ``1/gamma`` rescaled to unit mean; ``gamma -> 0`` is
+  deterministic, large ``gamma`` is extremely heavy.
+* :func:`pareto_family` — inverse "scale" parameter ``beta`` (x-axis 0..1):
+  Pareto with tail index ``alpha = 1 + 1/beta`` rescaled to unit mean;
+  ``beta -> 0`` approaches deterministic, ``beta -> 1`` approaches
+  ``alpha -> 2`` where the variance diverges.
+* :func:`two_point_family` — the probability ``p`` of the low value (x-axis
+  0..1): deterministic at ``p = 0``, variance diverging as ``p -> 1``.
+"""
+
+from __future__ import annotations
+
+from repro.distributions.base import Distribution
+from repro.distributions.discrete import TwoPoint
+from repro.distributions.standard import Deterministic, Pareto, Weibull
+from repro.exceptions import DistributionError
+
+
+def weibull_family(gamma: float) -> Distribution:
+    """Unit-mean Weibull with inverse shape parameter ``gamma`` (Figure 2(a)).
+
+    Args:
+        gamma: Inverse shape parameter, >= 0.  ``gamma = 0`` returns the
+            deterministic unit-mean distribution (the shape -> infinity limit);
+            ``gamma = 1`` is the exponential; larger values are heavier.
+
+    Returns:
+        A unit-mean :class:`~repro.distributions.base.Distribution`.
+    """
+    if gamma < 0:
+        raise DistributionError(f"gamma must be >= 0, got {gamma!r}")
+    if gamma == 0:
+        return Deterministic(1.0)
+    return Weibull(shape=1.0 / gamma, scale=1.0).unit_mean()
+
+
+def pareto_family(beta: float) -> Distribution:
+    """Unit-mean Pareto with inverse scale parameter ``beta`` (Figure 2(b)).
+
+    The tail index is ``alpha = 1 + 1/beta``, so the family interpolates from
+    near-deterministic (``beta -> 0``, ``alpha -> infinity``) to
+    infinite-variance (``beta -> 1``, ``alpha -> 2``).
+
+    Args:
+        beta: Inverse scale parameter in ``[0, 1)``; ``beta = 0`` returns the
+            deterministic distribution.
+    """
+    if not 0.0 <= beta < 1.0:
+        raise DistributionError(f"beta must be in [0, 1), got {beta!r}")
+    if beta == 0.0:
+        return Deterministic(1.0)
+    alpha = 1.0 + 1.0 / beta
+    return Pareto(alpha=alpha, mean=1.0)
+
+
+def two_point_family(p: float) -> Distribution:
+    """The paper's two-point family with parameter ``p`` (Figure 2(c)).
+
+    Service time is 0.5 with probability ``p`` and ``(1 - 0.5p)/(1 - p)`` with
+    probability ``1 - p``; the mean is exactly 1 for every ``p``.
+    """
+    if not 0.0 <= p < 1.0:
+        raise DistributionError(f"p must be in [0, 1), got {p!r}")
+    if p == 0.0:
+        return Deterministic(1.0)
+    return TwoPoint(p)

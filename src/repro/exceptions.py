@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly.
+
+    Examples include scheduling an event in the past or running a simulator
+    that has already been stopped.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or model is configured with invalid values.
+
+    Examples include negative loads, a replication factor larger than the
+    number of servers, or a cache ratio outside ``(0, inf)``.
+    """
+
+
+class DistributionError(ReproError):
+    """Raised when a probability distribution is mis-parameterised."""
+
+
+class RoutingError(ReproError):
+    """Raised when the network substrate cannot find a route for a packet."""
+
+
+class CapacityError(ReproError):
+    """Raised when an offered load would exceed the capacity of the system.
+
+    The queueing substrates refuse to simulate loads at or beyond saturation
+    (for instance a replicated load of 2 x 0.6 = 1.2) because the model has no
+    steady state there; callers should treat such configurations as invalid
+    rather than receiving meaningless numbers.
+    """

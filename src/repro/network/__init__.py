@@ -1,0 +1,40 @@
+"""Packet-level datacenter network substrate for Section 2.4.
+
+The paper evaluates in-network replication with an ns-3 simulation of a
+54-server, three-layer fat-tree (45 six-port switches in 6 pods, full
+bisection bandwidth), ECMP flow placement, drop-tail queues of 225 KB, Poisson
+flow arrivals with a standard datacenter size mix, and TCP with a 10 ms
+minimum RTO.  Every switch replicates the first 8 packets of each flow along
+an alternate route at strictly lower priority.
+
+This package rebuilds that experiment as a Python discrete-event simulation:
+
+* :mod:`repro.network.topology` — the k-ary fat-tree and its equal-cost paths.
+* :mod:`repro.network.link` — links with serialisation, propagation and
+  strict-priority drop-tail output queues.
+* :mod:`repro.network.routing` — ECMP path choice and alternate-path choice.
+* :mod:`repro.network.tcp` — a simplified TCP (slow start, cumulative ACKs,
+  fast retransmit, 10 ms min RTO with exponential backoff).
+* :mod:`repro.network.replication` — the replicate-first-k-packets-at-low-
+  priority mechanism, with de-duplication at the receiver.
+* :mod:`repro.network.fattree_sim` — the experiment driver producing the
+  Figure 14 quantities.
+"""
+
+from repro.network.topology import FatTreeTopology
+from repro.network.link import Link
+from repro.network.packet import Packet
+from repro.network.routing import EcmpRouter
+from repro.network.replication import ReplicationConfig
+from repro.network.fattree_sim import FatTreeExperiment, FatTreeExperimentConfig, FlowRecord
+
+__all__ = [
+    "FatTreeTopology",
+    "Link",
+    "Packet",
+    "EcmpRouter",
+    "ReplicationConfig",
+    "FatTreeExperiment",
+    "FatTreeExperimentConfig",
+    "FlowRecord",
+]

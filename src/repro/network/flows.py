@@ -1,0 +1,111 @@
+"""Flow workload generation for the fat-tree experiment.
+
+Flow arrivals are Poisson and sizes follow the datacenter mix of
+:class:`repro.distributions.datacenter.DataCenterFlowSizes` (1 KB - 3 MB, more
+than 80% of flows under 10 KB).  The offered *load* is defined, as in the
+paper, as the fraction of aggregate host access-link capacity consumed by the
+offered traffic: ``arrival_rate = load * num_hosts * link_capacity /
+mean_flow_size``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.distributions.datacenter import DataCenterFlowSizes
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to be offered to the network.
+
+    Attributes:
+        flow_id: Unique id.
+        src: Source host name.
+        dst: Destination host name (differs from ``src``).
+        size_bytes: Application bytes to transfer.
+        start_time: Arrival time in seconds.
+    """
+
+    flow_id: int
+    src: str
+    dst: str
+    size_bytes: float
+    start_time: float
+
+
+def generate_flows(
+    hosts: Sequence[str],
+    load: float,
+    link_rate_bps: float,
+    num_flows: int,
+    rng: np.random.Generator,
+    size_distribution: Optional[Distribution] = None,
+) -> List[FlowSpec]:
+    """Generate a Poisson flow workload at the given offered load.
+
+    Args:
+        hosts: Host names flows can originate from / terminate at (>= 2).
+        load: Offered load as a fraction of aggregate access capacity (> 0;
+            the paper sweeps 0.1-0.8).
+        link_rate_bps: Access-link rate in bits per second.
+        num_flows: Number of flows to generate.
+        rng: Random generator.
+        size_distribution: Flow-size distribution; defaults to the datacenter
+            mix of the paper.
+
+    Returns:
+        Flows sorted by start time.
+
+    Raises:
+        ConfigurationError: On invalid load, too few hosts or no flows.
+    """
+    if len(hosts) < 2:
+        raise ConfigurationError("need at least two hosts to generate flows")
+    if load <= 0:
+        raise ConfigurationError(f"load must be positive, got {load!r}")
+    if num_flows < 1:
+        raise ConfigurationError(f"num_flows must be >= 1, got {num_flows!r}")
+
+    sizes_dist = size_distribution or DataCenterFlowSizes()
+    mean_size = sizes_dist.mean()
+    capacity_bytes_per_s = link_rate_bps / 8.0
+    arrival_rate = load * len(hosts) * capacity_bytes_per_s / mean_size
+
+    gaps = rng.exponential(1.0 / arrival_rate, num_flows)
+    start_times = np.cumsum(gaps)
+    sizes = np.maximum(np.asarray(sizes_dist.sample(rng, num_flows), dtype=float), 1.0)
+
+    host_array = list(hosts)
+    src_idx = rng.integers(0, len(host_array), size=num_flows)
+    dst_idx = rng.integers(0, len(host_array) - 1, size=num_flows)
+    # Shift destination indices at or above the source index so dst != src
+    # while keeping the choice uniform over the other hosts.
+    dst_idx = np.where(dst_idx >= src_idx, dst_idx + 1, dst_idx)
+
+    flows = [
+        FlowSpec(
+            flow_id=i,
+            src=host_array[int(src_idx[i])],
+            dst=host_array[int(dst_idx[i])],
+            size_bytes=float(sizes[i]),
+            start_time=float(start_times[i]),
+        )
+        for i in range(num_flows)
+    ]
+    return flows
+
+
+def short_flows(flows: Sequence[FlowSpec], threshold_bytes: float = 10_000.0) -> List[FlowSpec]:
+    """The flows smaller than ``threshold_bytes`` (the paper's "short flows")."""
+    return [f for f in flows if f.size_bytes < threshold_bytes]
+
+
+def elephant_flows(flows: Sequence[FlowSpec], threshold_bytes: float = 1_000_000.0) -> List[FlowSpec]:
+    """The flows of at least ``threshold_bytes`` (the paper's elephants)."""
+    return [f for f in flows if f.size_bytes >= threshold_bytes]

@@ -1,0 +1,65 @@
+"""Packet objects carried by the network simulator."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Wire priority of ordinary traffic (strictly served first).
+PRIORITY_NORMAL = 0
+
+#: Wire priority of replicated copies ("they can never delay the original,
+#: unreplicated traffic in the network").
+PRIORITY_REPLICA = 1
+
+_packet_counter = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A data or acknowledgement packet.
+
+    Attributes:
+        flow_id: Flow the packet belongs to.
+        seq: Data sequence number (index of the MSS-sized segment), or the
+            cumulative ACK number for ACK packets.
+        size_bytes: Size on the wire, headers included.
+        src: Source host name.
+        dst: Destination host name.
+        is_ack: Whether this is an acknowledgement.
+        is_replica: Whether this is a replicated (low-priority) copy.
+        priority: Queueing priority (0 = normal, 1 = replica).
+        created_at: Simulated time the packet was created.
+        path: The remaining path as a list of :class:`~repro.network.link.Link`
+            objects (set by the router when the packet is injected).
+        hop_index: Index of the next link in ``path`` to traverse.
+        uid: Unique id (for debugging and deduplication bookkeeping).
+    """
+
+    flow_id: int
+    seq: int
+    size_bytes: float
+    src: str
+    dst: str
+    is_ack: bool = False
+    is_replica: bool = False
+    priority: int = PRIORITY_NORMAL
+    created_at: float = 0.0
+    path: List = field(default_factory=list, repr=False)
+    hop_index: int = 0
+    uid: int = field(default_factory=lambda: next(_packet_counter))
+
+    def clone_as_replica(self) -> "Packet":
+        """A low-priority copy of this data packet (fresh uid, same seq)."""
+        return Packet(
+            flow_id=self.flow_id,
+            seq=self.seq,
+            size_bytes=self.size_bytes,
+            src=self.src,
+            dst=self.dst,
+            is_ack=self.is_ack,
+            is_replica=True,
+            priority=PRIORITY_REPLICA,
+            created_at=self.created_at,
+        )

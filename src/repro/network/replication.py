@@ -1,0 +1,61 @@
+"""Configuration of the in-network replication mechanism (Section 2.4).
+
+The scheme: replicate the first few packets of every flow along an alternate
+route, at strictly lower priority than ordinary traffic, so the copies can
+reduce latency when the default path is congested but can never make anything
+else worse.  Only the first packets are replicated because the completion time
+of short flows is latency-bound while that of elephants is throughput-bound
+("replication would be of little use" for them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.network.packet import PRIORITY_NORMAL, PRIORITY_REPLICA
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """How (and whether) switches replicate the start of each flow.
+
+    Attributes:
+        enabled: Master switch; ``False`` reproduces the no-replication
+            baseline.
+        first_packets: Number of leading data segments of each flow to
+            replicate (the paper replicates the first 8).
+        low_priority: Queue the copies at strictly lower priority (the paper's
+            design).  Setting this to ``False`` is the ablation where copies
+            compete with ordinary traffic on equal terms.
+        replicate_retransmissions: Whether retransmitted segments within the
+            first-packet window are also replicated.
+    """
+
+    enabled: bool = True
+    first_packets: int = 8
+    low_priority: bool = True
+    replicate_retransmissions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.first_packets < 0:
+            raise ConfigurationError(
+                f"first_packets must be >= 0, got {self.first_packets!r}"
+            )
+
+    def should_replicate(self, seq: int, is_retransmission: bool = False) -> bool:
+        """Whether data segment ``seq`` of a flow should be replicated."""
+        if not self.enabled or seq >= self.first_packets:
+            return False
+        if is_retransmission and not self.replicate_retransmissions:
+            return False
+        return True
+
+    def replica_priority(self) -> int:
+        """The queueing priority for replicated copies."""
+        return PRIORITY_REPLICA if self.low_priority else PRIORITY_NORMAL
+
+    @classmethod
+    def disabled(cls) -> "ReplicationConfig":
+        """The no-replication baseline."""
+        return cls(enabled=False)

@@ -1,0 +1,67 @@
+"""ECMP path selection and alternate-path selection.
+
+Datacenter fabrics "assign flows to paths based on a hash of the flow header";
+the well-known weakness the paper exploits is that a static hash can land two
+elephant flows on the same link.  :class:`EcmpRouter` implements that static
+hash placement over the fat-tree's equal-cost paths, plus the *alternate*
+path used for replicated packets: a deterministic second choice that differs
+from the default path whenever more than one path exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.exceptions import RoutingError
+from repro.network.topology import FatTreeTopology
+
+
+def _flow_hash(flow_id: int, src: str, dst: str, salt: int) -> int:
+    """Stable hash of a flow header plus a salt."""
+    material = f"{flow_id}|{src}|{dst}|{salt}".encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(material, digest_size=8).digest(), "big")
+
+
+class EcmpRouter:
+    """Hash-based selection among a topology's equal-cost paths."""
+
+    def __init__(self, topology: FatTreeTopology, salt: int = 0) -> None:
+        """Create a router over ``topology`` with a hash ``salt``.
+
+        Different salts model different switch hash functions; the experiment
+        driver keeps the salt fixed so a flow's default path is stable, as in
+        static ECMP.
+        """
+        self.topology = topology
+        self.salt = int(salt)
+
+    def default_path(self, flow_id: int, src: str, dst: str) -> List[str]:
+        """The ECMP-chosen path (node names) for a flow."""
+        paths = self.topology.equal_cost_paths(src, dst)
+        index = _flow_hash(flow_id, src, dst, self.salt) % len(paths)
+        return paths[index]
+
+    def alternate_path(self, flow_id: int, src: str, dst: str) -> List[str]:
+        """A path for replicated packets, different from the default when possible.
+
+        The alternate is chosen with a different hash salt; if it collides
+        with the default choice it is bumped to the next path, so for any pair
+        with more than one equal-cost path the replica travels a genuinely
+        different route ("reducing the probability of collision with an
+        elephant flow").
+        """
+        paths = self.topology.equal_cost_paths(src, dst)
+        if len(paths) == 1:
+            return paths[0]
+        default_index = _flow_hash(flow_id, src, dst, self.salt) % len(paths)
+        alternate_index = _flow_hash(flow_id, src, dst, self.salt + 1) % len(paths)
+        if alternate_index == default_index:
+            alternate_index = (alternate_index + 1) % len(paths)
+        return paths[alternate_index]
+
+    def path_links(self, path: List[str]) -> List[tuple]:
+        """The ordered directed edges ``(u, v)`` of a node-name path."""
+        if len(path) < 2:
+            raise RoutingError(f"path too short: {path!r}")
+        return [(path[i], path[i + 1]) for i in range(len(path) - 1)]

@@ -1,0 +1,65 @@
+"""The client-side overhead model of Figure 4.
+
+Figure 4 asks: if processing the extra replicated copy costs the client a
+fixed amount of latency (expressed as a fraction of the mean service time),
+how does the threshold load change?  The paper's findings, reproduced by
+:func:`overhead_threshold_curve`:
+
+* more variable service-time distributions tolerate more overhead;
+* once the overhead approaches the mean service time, replication cannot
+  improve mean latency at any load (the threshold collapses to 0);
+* with deterministic service times even a few percent of overhead erases the
+  benefit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ConfigurationError
+from repro.queueing.threshold import threshold_load
+
+
+def overhead_threshold_curve(
+    service: Distribution,
+    overhead_fractions: Sequence[float],
+    copies: int = 2,
+    num_servers: int = 10,
+    num_requests: int = 40_000,
+    seed: int = 0,
+    tolerance: float = 0.01,
+) -> Dict[float, float]:
+    """Threshold load as a function of client-side overhead (Figure 4).
+
+    Args:
+        service: Service-time distribution.
+        overhead_fractions: Overheads to evaluate, each expressed as a fraction
+            of the mean service time (the paper sweeps 0 to 1).
+        copies: Replication factor.
+        num_servers: Servers in the simulated system.
+        num_requests: Requests per simulation run.
+        seed: Base seed for the paired simulations.
+        tolerance: Bisection tolerance passed to :func:`threshold_load`.
+
+    Returns:
+        Mapping from overhead fraction to estimated threshold load.
+
+    Raises:
+        ConfigurationError: If any overhead fraction is negative.
+    """
+    if any(fraction < 0 for fraction in overhead_fractions):
+        raise ConfigurationError("overhead fractions must be non-negative")
+    mean_service = service.mean()
+    curve: Dict[float, float] = {}
+    for fraction in overhead_fractions:
+        curve[float(fraction)] = threshold_load(
+            service,
+            copies=copies,
+            num_servers=num_servers,
+            num_requests=num_requests,
+            client_overhead=fraction * mean_service,
+            seed=seed,
+            tolerance=tolerance,
+        )
+    return curve

@@ -1,0 +1,107 @@
+"""Heavy-tailed (regularly varying) M/G/1 approximations.
+
+For regularly varying service times (e.g. Pareto), the classic heavy-traffic /
+heavy-tail result — of which Olvera-Cravioto, Blanchet and Glynn [Ann. Appl.
+Prob. 2011], the reference the paper uses, is the modern refinement — is that
+the stationary waiting time satisfies::
+
+    P(W > x)  ≈  rho / (1 - rho) * F_I(x)
+
+where ``F_I`` is the *integrated tail* (equilibrium) distribution of the
+service time: ``F_I(x) = (1/E[S]) ∫_x^inf P(S > u) du``.
+
+This module implements that approximation for Pareto service times (closed
+form for the integrated tail) and records the paper's Theorem 3: within the
+approximation, if the tail index satisfies ``alpha < 1 + sqrt(2)`` the
+threshold load is greater than 30%.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.distributions.standard import Pareto
+from repro.exceptions import CapacityError, ConfigurationError
+
+#: The tail-index condition of Theorem 3: the result applies when the service
+#: time is "sufficiently heavy", i.e. ``alpha < 1 + sqrt(2)`` (a coefficient of
+#: variation larger than the exponential distribution's).
+HEAVY_TAIL_ALPHA_LIMIT: float = 1.0 + math.sqrt(2.0)
+
+#: The threshold-load lower bound established by Theorem 3 under that condition.
+HEAVY_TAIL_THRESHOLD_BOUND: float = 0.30
+
+
+def pareto_integrated_tail(service: Pareto, x: float) -> float:
+    """The integrated-tail (equilibrium) survival function of a Pareto service time.
+
+    For a Pareto(alpha, xm) with ``alpha > 1``::
+
+        F_I(x) = (1/E[S]) ∫_x^inf (xm/u)^alpha du = (xm/x)^(alpha-1) / (alpha E[S] / (alpha xm))
+
+    which simplifies to ``(xm / x)^(alpha - 1)`` for ``x >= xm`` (and handles
+    ``x < xm`` by integrating the flat part of the tail exactly).
+    """
+    if x < 0:
+        return 1.0
+    alpha, xm = service.alpha, service.xm
+    mean = service.mean()
+    if x <= xm:
+        # ∫_x^xm 1 du + ∫_xm^inf (xm/u)^alpha du = (xm - x) + xm / (alpha - 1)
+        integral = (xm - x) + xm / (alpha - 1.0)
+    else:
+        integral = (xm**alpha) * x ** (1.0 - alpha) / (alpha - 1.0)
+    return min(1.0, integral / mean)
+
+
+def heavy_tail_wait_survival(service: Pareto, load: float, x: float) -> float:
+    """Approximate P(W > x) for an M/G/1 queue with Pareto service.
+
+    Implements ``rho/(1-rho) * F_I(x)`` (capped at 1), the regularly-varying
+    approximation described in the module docstring.
+
+    Raises:
+        CapacityError: If ``load >= 1``.
+        ConfigurationError: If ``load < 0``.
+    """
+    if load < 0:
+        raise ConfigurationError(f"load must be non-negative, got {load!r}")
+    if load >= 1.0:
+        raise CapacityError(f"M/G/1 is unstable at rho={load:.3f} >= 1")
+    if load == 0.0:
+        return 0.0
+    return min(1.0, load / (1.0 - load) * pareto_integrated_tail(service, x))
+
+
+def heavy_tail_response_survival(service: Pareto, load: float, t: float) -> float:
+    """Approximate P(T > t) for the response time T = W + S.
+
+    In the heavy-tailed regime the tail of a sum is dominated by the heavier
+    component ("single big jump" principle), so the standard approximation is
+    ``P(T > t) ≈ P(W > t) + P(S > t)`` (capped at 1).
+    """
+    service_tail = (service.xm / t) ** service.alpha if t > service.xm else 1.0
+    return min(1.0, heavy_tail_wait_survival(service, load, t) + service_tail)
+
+
+def heavy_tail_threshold_lower_bound(alpha: float) -> float:
+    """The Theorem 3 lower bound on the threshold load for tail index ``alpha``.
+
+    Args:
+        alpha: Regular-variation tail index of the service time (must exceed 1
+            for a finite mean).
+
+    Returns:
+        ``0.30`` when ``alpha < 1 + sqrt(2)`` (the theorem's condition holds);
+        the trivial bound ``0.25`` otherwise (the conjectured general bound of
+        the paper, rounded down from ≈25.8%).
+
+    Raises:
+        ConfigurationError: If ``alpha <= 1`` (the mean would be infinite and
+            the model meaningless).
+    """
+    if alpha <= 1.0:
+        raise ConfigurationError(f"alpha must exceed 1 for a finite mean, got {alpha!r}")
+    if alpha < HEAVY_TAIL_ALPHA_LIMIT:
+        return HEAVY_TAIL_THRESHOLD_BOUND
+    return 0.25

@@ -1,0 +1,177 @@
+"""M/G/1 analytics and the two-moment response-time approximation.
+
+Two layers are provided:
+
+* Exact M/G/1 mean results via the Pollaczek–Khinchine formula
+  (:func:`pollaczek_khinchine_wait`, :class:`MG1Queue`).
+* A *two-moment approximation of the full response-time distribution*
+  (:func:`two_moment_response_survival`), standing in for the Myers–Vernon
+  [SIGMETRICS PER 2012] approximation the paper uses as evidence for
+  Conjecture 1.  The approximation keeps the exact Pollaczek–Khinchine mean
+  and models the waiting time as ``0`` with probability ``1 - rho`` and an
+  exponential with mean ``E[W] / rho`` with probability ``rho``.  This is
+  exact for M/M/1 and matches the first two moments' structure for light
+  tails; like the original it is documented as inappropriate for heavy-tailed
+  service times (use :mod:`repro.queueing.heavy_tail` there).
+
+The replication analysis needs the *whole* distribution because the benefit of
+redundancy is ``E[min(T_1, T_2)] = ∫ P(T > t)^2 dt``; the module exposes
+:func:`expected_minimum_response` built on the survival function.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+def pollaczek_khinchine_wait(service: Distribution, load: float) -> float:
+    """Exact M/G/1 mean waiting time (Pollaczek–Khinchine).
+
+    ``E[W] = lambda * E[S^2] / (2 * (1 - rho))`` with ``lambda = rho / E[S]``.
+
+    Args:
+        service: Service-time distribution (finite second moment required).
+        load: Utilisation ``rho`` in ``[0, 1)``.
+
+    Raises:
+        CapacityError: If ``load >= 1``.
+        ConfigurationError: If the service distribution has infinite variance
+            (the formula needs a finite second moment).
+    """
+    if load < 0:
+        raise ConfigurationError(f"load must be non-negative, got {load!r}")
+    if load >= 1.0:
+        raise CapacityError(f"M/G/1 is unstable at rho={load:.3f} >= 1")
+    if load == 0.0:
+        return 0.0
+    second = service.second_moment()
+    if math.isinf(second):
+        raise ConfigurationError(
+            "Pollaczek-Khinchine needs a finite second moment; "
+            "use the heavy_tail module for infinite-variance service times"
+        )
+    arrival_rate = load / service.mean()
+    return arrival_rate * second / (2.0 * (1.0 - load))
+
+
+class MG1Queue:
+    """An M/G/1 queue characterised by a service distribution and a load."""
+
+    def __init__(self, service: Distribution, load: float) -> None:
+        """Create an M/G/1 queue at utilisation ``load`` with the given service."""
+        if load < 0:
+            raise ConfigurationError(f"load must be non-negative, got {load!r}")
+        if load >= 1.0:
+            raise CapacityError(f"M/G/1 is unstable at rho={load:.3f} >= 1")
+        self.service = service
+        self.load = float(load)
+
+    def mean_waiting_time(self) -> float:
+        """Exact mean waiting time (Pollaczek–Khinchine)."""
+        return pollaczek_khinchine_wait(self.service, self.load)
+
+    def mean_response_time(self) -> float:
+        """Exact mean response time: waiting plus mean service."""
+        return self.mean_waiting_time() + self.service.mean()
+
+    def waiting_time_survival(self, t: float) -> float:
+        """Approximate P(W > t) under the two-moment exponential approximation."""
+        if t <= 0:
+            return 1.0 if self.load > 0 else 0.0
+        if self.load == 0:
+            return 0.0
+        mean_wait = self.mean_waiting_time()
+        if mean_wait == 0:
+            return 0.0
+        theta = mean_wait / self.load
+        return self.load * math.exp(-t / theta)
+
+
+def two_moment_response_survival(
+    service: Distribution,
+    load: float,
+    t_grid: np.ndarray,
+    service_samples: Optional[np.ndarray] = None,
+    num_service_samples: int = 20_000,
+    seed: int = 20131206,
+) -> np.ndarray:
+    """Approximate P(T > t) on a grid, where T = waiting + service.
+
+    The waiting time uses the two-moment exponential approximation (see module
+    docstring); the convolution with the service distribution is evaluated by
+    averaging over a fixed set of service-time samples, so the function is
+    deterministic for a given seed.
+
+    Args:
+        service: Service-time distribution.
+        load: Utilisation ``rho`` in ``[0, 1)``.
+        t_grid: Points at which to evaluate the survival function.
+        service_samples: Optional pre-drawn service samples (reused across
+            loads for common-random-number comparisons).
+        num_service_samples: Number of samples to draw when not provided.
+        seed: Seed for the internal sample draw.
+
+    Returns:
+        Array of P(T > t) values, same shape as ``t_grid``.
+    """
+    if load < 0:
+        raise ConfigurationError(f"load must be non-negative, got {load!r}")
+    if load >= 1.0:
+        raise CapacityError(f"M/G/1 is unstable at rho={load:.3f} >= 1")
+    t_grid = np.asarray(t_grid, dtype=float)
+    if service_samples is None:
+        rng = np.random.default_rng(seed)
+        service_samples = np.asarray(service.sample(rng, num_service_samples), dtype=float)
+    samples = np.asarray(service_samples, dtype=float)
+
+    if load == 0.0:
+        # No queueing: T = S exactly.
+        return np.array([float(np.mean(samples > t)) for t in t_grid])
+
+    mean_wait = pollaczek_khinchine_wait(service, load)
+    theta = mean_wait / load if mean_wait > 0 else 0.0
+
+    survival = np.empty_like(t_grid)
+    for i, t in enumerate(t_grid):
+        over = samples > t
+        if theta > 0:
+            under = ~over
+            tail_from_wait = load * np.exp(-(t - samples[under]) / theta)
+            survival[i] = float(np.mean(over) + tail_from_wait.sum() / samples.size)
+        else:
+            survival[i] = float(np.mean(over))
+    return np.clip(survival, 0.0, 1.0)
+
+
+def expected_minimum_response(
+    survival: Callable[[np.ndarray], np.ndarray],
+    copies: int,
+    t_max: float,
+    num_points: int = 4_000,
+) -> float:
+    """E[min of ``copies`` i.i.d. response times] from a survival function.
+
+    Uses ``E[min] = ∫_0^inf P(T > t)^k dt`` evaluated by the trapezoid rule on
+    ``[0, t_max]``; choose ``t_max`` large enough that the survival function is
+    negligible there (the helper in :mod:`repro.queueing.threshold` picks it
+    from the distribution's quantiles).
+
+    Args:
+        survival: Vectorised survival function P(T > t).
+        copies: Number of i.i.d. copies (>= 1).
+        t_max: Upper integration limit.
+        num_points: Grid resolution.
+    """
+    if copies < 1:
+        raise ConfigurationError(f"copies must be >= 1, got {copies!r}")
+    if t_max <= 0:
+        raise ConfigurationError(f"t_max must be positive, got {t_max!r}")
+    t_grid = np.linspace(0.0, t_max, num_points)
+    values = np.asarray(survival(t_grid), dtype=float) ** copies
+    return float(np.trapezoid(values, t_grid))

@@ -1,0 +1,137 @@
+"""Exact M/M/1 results, including Theorem 1.
+
+With exponential service times (mean 1, without loss of generality) and
+per-server arrival rate ``rho``:
+
+* Without replication each server is an M/M/1 queue and the response time is
+  exponential with rate ``1 - rho``; the mean is ``1 / (1 - rho)``.
+* With 2-copy replication each server sees arrival rate ``2*rho`` and each
+  request takes the minimum of two (approximately independent) exponential
+  response times with rate ``1 - 2*rho``; the minimum is exponential with
+  rate ``2*(1 - 2*rho)`` and the mean is ``1 / (2*(1 - 2*rho))``.
+
+Replication wins exactly when ``1/(k(1-k rho)) < 1/(1-rho)``, which for
+``k = 2`` gives ``rho < 1/3`` — **Theorem 1: the threshold load is 33%**.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import CapacityError, ConfigurationError
+
+
+class MM1Queue:
+    """An M/M/1 queue with unit-mean exponential service.
+
+    All quantities are expressed with the mean service time normalised to 1
+    second (the paper's convention); rescale externally for other means.
+    """
+
+    def __init__(self, arrival_rate: float, service_rate: float = 1.0) -> None:
+        """Create an M/M/1 queue.
+
+        Args:
+            arrival_rate: Poisson arrival rate ``lambda`` (>= 0).
+            service_rate: Service rate ``mu`` (> 0, default 1).
+
+        Raises:
+            ConfigurationError: On negative rates.
+            CapacityError: If ``lambda >= mu`` (no steady state).
+        """
+        if arrival_rate < 0 or service_rate <= 0:
+            raise ConfigurationError(
+                f"need arrival_rate >= 0 and service_rate > 0, got {arrival_rate!r}, {service_rate!r}"
+            )
+        if arrival_rate >= service_rate:
+            raise CapacityError(
+                f"M/M/1 is unstable at rho={arrival_rate / service_rate:.3f} >= 1"
+            )
+        self.arrival_rate = float(arrival_rate)
+        self.service_rate = float(service_rate)
+
+    @property
+    def utilization(self) -> float:
+        """Server utilisation ``rho = lambda / mu``."""
+        return self.arrival_rate / self.service_rate
+
+    def mean_response_time(self) -> float:
+        """Mean time in system: ``1 / (mu - lambda)``."""
+        return 1.0 / (self.service_rate - self.arrival_rate)
+
+    def mean_waiting_time(self) -> float:
+        """Mean time in queue (excluding service)."""
+        return self.mean_response_time() - 1.0 / self.service_rate
+
+    def response_time_survival(self, t: float) -> float:
+        """P(response time > t): ``exp(-(mu - lambda) * t)``."""
+        if t < 0:
+            return 1.0
+        return math.exp(-(self.service_rate - self.arrival_rate) * t)
+
+    def response_time_quantile(self, q: float) -> float:
+        """The ``q``-quantile (``0 <= q < 1``) of the response time."""
+        if not 0.0 <= q < 1.0:
+            raise ConfigurationError(f"q must be in [0, 1), got {q!r}")
+        return -math.log(1.0 - q) / (self.service_rate - self.arrival_rate)
+
+
+def mm1_replicated_mean_response(load: float, copies: int = 2) -> float:
+    """Mean response time with ``copies``-fold replication, exponential service.
+
+    Each server's arrival rate becomes ``copies * load`` and the request takes
+    the minimum of ``copies`` independent exponential response times with rate
+    ``1 - copies*load``, i.e. an exponential with rate ``copies*(1 - copies*load)``.
+
+    Args:
+        load: Per-server base utilisation ``rho`` (before replication).
+        copies: Replication factor ``k`` >= 1.
+
+    Raises:
+        ConfigurationError: If ``copies < 1`` or ``load < 0``.
+        CapacityError: If ``copies * load >= 1`` (the replicated system has no
+            steady state).
+    """
+    if copies < 1 or int(copies) != copies:
+        raise ConfigurationError(f"copies must be a positive integer, got {copies!r}")
+    if load < 0:
+        raise ConfigurationError(f"load must be non-negative, got {load!r}")
+    if copies * load >= 1.0:
+        raise CapacityError(
+            f"replicated load {copies * load:.3f} >= 1: the system is saturated"
+        )
+    return 1.0 / (copies * (1.0 - copies * load))
+
+
+def mm1_replicated_response_survival(load: float, t: float, copies: int = 2) -> float:
+    """P(replicated response time > t) under the independence approximation.
+
+    The minimum of ``copies`` i.i.d. exponentials with rate ``1 - copies*load``
+    exceeds ``t`` with probability ``exp(-copies*(1 - copies*load)*t)``.
+    """
+    if copies * load >= 1.0:
+        raise CapacityError(f"replicated load {copies * load:.3f} >= 1")
+    if t < 0:
+        return 1.0
+    return math.exp(-copies * (1.0 - copies * load) * t)
+
+
+def mm1_threshold_load(copies: int = 2) -> float:
+    """The exact threshold load for exponential service (Theorem 1 generalised).
+
+    Replication with ``k`` copies improves the mean exactly when
+    ``1/(k(1 - k*rho)) < 1/(1 - rho)``, i.e. ``rho < (k - 1)/(k^2 - 1) = 1/(k + 1)``.
+    For ``k = 2`` this is 1/3 — the paper's Theorem 1.
+
+    Args:
+        copies: Replication factor ``k`` >= 2.
+
+    Returns:
+        The threshold load ``1 / (k + 1)``.
+
+    Raises:
+        ConfigurationError: If ``copies < 2`` (no replication, no threshold).
+    """
+    if copies < 2 or int(copies) != copies:
+        raise ConfigurationError(f"copies must be an integer >= 2, got {copies!r}")
+    return 1.0 / (copies + 1.0)

@@ -1,0 +1,309 @@
+"""Simulation of the Section 2.1 replication queueing model.
+
+The model: ``N`` independent identical FIFO servers, Poisson arrivals, ``k``
+copies of every arriving request enqueued at ``k`` distinct servers chosen
+uniformly at random, request response time = minimum completion time across
+its copies (plus any client-side overhead charged for processing the extra
+copies).
+
+Two implementations are provided and cross-validated in the tests:
+
+* :meth:`ReplicatedQueueingModel.run_fast` — a vectorised Lindley-recursion
+  simulation.  Because each server is FIFO and copies arrive in global
+  arrival order, a single pass over copies in arrival order with a
+  "server free at" vector reproduces the exact sample path; this is the
+  implementation the threshold search and the benchmarks use.
+* :meth:`ReplicatedQueueingModel.run_event_driven` — the same model expressed
+  on the discrete-event engine (:mod:`repro.sim`), used to validate the fast
+  path and as a template for the richer cluster/network simulators.
+
+The ``load`` parameter follows the paper's convention: it is the *base*
+utilisation of each server before replication (arrival rate per server times
+mean service time).  With ``k`` copies each server's actual utilisation is
+``k * load``, so the model refuses ``k * load >= 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary, summarize
+from repro.distributions.base import Distribution
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.sim.engine import Simulator
+from repro.sim.resources import Server
+from repro.sim.rng import substream
+
+
+@dataclass(frozen=True)
+class QueueingResults:
+    """Results of one replication-model run.
+
+    Attributes:
+        response_times: Per-request response times (seconds), warmup excluded.
+        load: Base per-server utilisation of the run.
+        copies: Replication factor used.
+        summary: Precomputed latency summary of ``response_times``.
+    """
+
+    response_times: np.ndarray
+    load: float
+    copies: int
+    summary: LatencySummary = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.summary is None:
+            object.__setattr__(self, "summary", summarize(self.response_times))
+
+    @property
+    def mean(self) -> float:
+        """Mean response time."""
+        return self.summary.mean
+
+    def fraction_later_than(self, threshold: float) -> float:
+        """Fraction of requests slower than ``threshold`` seconds."""
+        return float(np.mean(self.response_times > threshold))
+
+
+class ReplicatedQueueingModel:
+    """The N-server, k-copy replication model of Section 2.1."""
+
+    def __init__(
+        self,
+        service: Distribution,
+        num_servers: int = 10,
+        copies: int = 2,
+        client_overhead: float = 0.0,
+        seed: Optional[int] = 0,
+    ) -> None:
+        """Configure the model.
+
+        Args:
+            service: Service-time distribution (shared by all servers).
+            num_servers: Number of servers ``N`` (must be >= ``copies``).  The
+                paper notes the independence approximation is good for
+                ``N >= 10`` with ``k = 2``.
+            copies: Replication factor ``k`` >= 1 (1 disables replication).
+            client_overhead: Extra latency added to every request *when it is
+                replicated*, expressed in the same time unit as the service
+                distribution (Figure 4 sweeps this as a fraction of the mean
+                service time).  Charged once per extra copy:
+                ``overhead * (copies - 1)``.
+            seed: Base seed for reproducible runs (``None`` = fresh entropy).
+
+        Raises:
+            ConfigurationError: If ``copies`` exceeds ``num_servers`` or any
+                parameter is invalid.
+        """
+        if num_servers < 1:
+            raise ConfigurationError(f"num_servers must be >= 1, got {num_servers!r}")
+        if copies < 1 or int(copies) != copies:
+            raise ConfigurationError(f"copies must be a positive integer, got {copies!r}")
+        if copies > num_servers:
+            raise ConfigurationError(
+                f"copies ({copies}) cannot exceed num_servers ({num_servers})"
+            )
+        if client_overhead < 0:
+            raise ConfigurationError(f"client_overhead must be >= 0, got {client_overhead!r}")
+        self.service = service
+        self.num_servers = int(num_servers)
+        self.copies = int(copies)
+        self.client_overhead = float(client_overhead)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Fast vectorised implementation
+    # ------------------------------------------------------------------ #
+
+    def run_fast(
+        self,
+        load: float,
+        num_requests: int = 50_000,
+        warmup_fraction: float = 0.1,
+        arrival_stream: str = "arrivals",
+    ) -> QueueingResults:
+        """Simulate ``num_requests`` requests with the Lindley fast path.
+
+        Args:
+            load: Base per-server utilisation in ``[0, 1/copies)``.
+            num_requests: Number of requests to generate.
+            warmup_fraction: Fraction of the earliest requests discarded so the
+                measurement reflects steady state.
+            arrival_stream: Name of the RNG substream for arrivals; runs with
+                the same seed and stream names share arrival times and service
+                draws, enabling paired (common-random-number) comparisons of
+                different ``copies`` values.
+
+        Returns:
+            A :class:`QueueingResults` with the retained response times.
+        """
+        self._validate_load(load)
+        if num_requests < 10:
+            raise ConfigurationError(f"num_requests must be >= 10, got {num_requests!r}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
+            )
+
+        mean_service = self.service.mean()
+        arrivals_rng = substream(self.seed, arrival_stream)
+        service_rng = substream(self.seed, "service")
+        placement_rng = substream(self.seed, "placement")
+
+        # Aggregate arrival rate so each server sees `load` before replication.
+        total_rate = self.num_servers * load / mean_service
+        if total_rate <= 0:
+            raise ConfigurationError("load must be positive for a simulation run")
+        gaps = arrivals_rng.exponential(1.0 / total_rate, num_requests)
+        arrival_times = np.cumsum(gaps)
+
+        # Choose `copies` distinct servers per request.
+        servers = self._choose_servers(placement_rng, num_requests)
+
+        # Independent service draw per copy.
+        service_times = np.asarray(
+            self.service.sample(service_rng, num_requests * self.copies), dtype=float
+        ).reshape(num_requests, self.copies)
+
+        response = self._lindley_pass(arrival_times, servers, service_times)
+
+        if self.copies > 1 and self.client_overhead > 0:
+            response = response + self.client_overhead * (self.copies - 1)
+
+        start = int(num_requests * warmup_fraction)
+        retained = response[start:]
+        return QueueingResults(response_times=retained, load=load, copies=self.copies)
+
+    def _choose_servers(self, rng: np.random.Generator, num_requests: int) -> np.ndarray:
+        """Choose ``copies`` distinct servers per request, uniformly at random."""
+        if self.copies == 1:
+            return rng.integers(0, self.num_servers, size=(num_requests, 1))
+        # Rank a uniform matrix per row: the first `copies` ranks are a uniform
+        # random subset (and ordering) of distinct servers.
+        scores = rng.random((num_requests, self.num_servers))
+        return np.argpartition(scores, self.copies - 1, axis=1)[:, : self.copies]
+
+    def _lindley_pass(
+        self,
+        arrival_times: np.ndarray,
+        servers: np.ndarray,
+        service_times: np.ndarray,
+    ) -> np.ndarray:
+        """Single pass in arrival order computing min-of-copies response times.
+
+        Each server is FIFO, so processing copies in global arrival order with
+        a per-server "free at" clock reproduces the exact queueing dynamics.
+        """
+        num_requests, copies = servers.shape
+        free_at = np.zeros(self.num_servers)
+        response = np.empty(num_requests)
+        for i in range(num_requests):
+            arrival = arrival_times[i]
+            best = np.inf
+            for j in range(copies):
+                server = servers[i, j]
+                start = free_at[server] if free_at[server] > arrival else arrival
+                finish = start + service_times[i, j]
+                free_at[server] = finish
+                elapsed = finish - arrival
+                if elapsed < best:
+                    best = elapsed
+            response[i] = best
+        return response
+
+    # ------------------------------------------------------------------ #
+    # Event-driven implementation (validation / extension template)
+    # ------------------------------------------------------------------ #
+
+    def run_event_driven(
+        self,
+        load: float,
+        num_requests: int = 10_000,
+        warmup_fraction: float = 0.1,
+    ) -> QueueingResults:
+        """Simulate the same model on the discrete-event engine.
+
+        Slower than :meth:`run_fast` but expressed in terms of
+        :class:`repro.sim.resources.Server`, which is how the cluster and
+        network substrates are built; the tests check both paths agree.
+        """
+        self._validate_load(load)
+        mean_service = self.service.mean()
+        arrivals_rng = substream(self.seed, "arrivals")
+        service_rng = substream(self.seed, "service")
+        placement_rng = substream(self.seed, "placement")
+
+        total_rate = self.num_servers * load / mean_service
+        gaps = arrivals_rng.exponential(1.0 / total_rate, num_requests)
+        arrival_times = np.cumsum(gaps)
+        servers_choice = self._choose_servers(placement_rng, num_requests)
+        service_times = np.asarray(
+            self.service.sample(service_rng, num_requests * self.copies), dtype=float
+        ).reshape(num_requests, self.copies)
+
+        sim = Simulator()
+        servers = [Server(sim, name=f"server-{i}") for i in range(self.num_servers)]
+        first_completion = np.full(num_requests, np.inf)
+
+        def on_complete(job, _start, finish):
+            request_index, arrival = job
+            elapsed = finish - arrival
+            if elapsed < first_completion[request_index]:
+                first_completion[request_index] = elapsed
+
+        def submit(request_index: int):
+            arrival = arrival_times[request_index]
+            for j in range(self.copies):
+                servers[servers_choice[request_index, j]].submit(
+                    (request_index, arrival),
+                    float(service_times[request_index, j]),
+                    on_complete,
+                )
+
+        for i in range(num_requests):
+            sim.schedule_at(float(arrival_times[i]), submit, i)
+        sim.run()
+
+        response = first_completion
+        if self.copies > 1 and self.client_overhead > 0:
+            response = response + self.client_overhead * (self.copies - 1)
+        start = int(num_requests * warmup_fraction)
+        return QueueingResults(response_times=response[start:], load=load, copies=self.copies)
+
+    # ------------------------------------------------------------------ #
+
+    def _validate_load(self, load: float) -> None:
+        if load <= 0:
+            raise ConfigurationError(f"load must be positive, got {load!r}")
+        if self.copies * load >= 1.0:
+            raise CapacityError(
+                f"replicated utilisation {self.copies * load:.3f} >= 1: "
+                "the model has no steady state at this load"
+            )
+
+
+def simulate_replicated_mm1_system(
+    load: float,
+    copies: int,
+    num_servers: int = 10,
+    num_requests: int = 50_000,
+    seed: int = 0,
+) -> QueueingResults:
+    """Convenience wrapper: the exponential-service case used to check Theorem 1.
+
+    Args:
+        load: Base per-server utilisation.
+        copies: Replication factor.
+        num_servers: Number of servers.
+        num_requests: Requests to simulate.
+        seed: Seed for reproducibility.
+    """
+    from repro.distributions.standard import Exponential
+
+    model = ReplicatedQueueingModel(
+        Exponential(1.0), num_servers=num_servers, copies=copies, seed=seed
+    )
+    return model.run_fast(load, num_requests=num_requests)

@@ -1,0 +1,36 @@
+"""Discrete-event simulation engine.
+
+This subpackage provides the substrate every simulator in the repository is
+built on: a binary-heap event scheduler (:class:`~repro.sim.engine.Simulator`),
+cancellable scheduled events (:class:`~repro.sim.events.Event`), generator
+based processes (:mod:`repro.sim.process`), queueing resources
+(:mod:`repro.sim.resources`) and reproducible random-number streams
+(:mod:`repro.sim.rng`).
+
+The engine is deliberately small and callback-first: the hot paths of the
+queueing, cluster and network simulators schedule plain callables, while the
+generator-based :class:`~repro.sim.process.Process` wrapper offers SimPy-like
+ergonomics for the less performance-critical experiment drivers.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventState
+from repro.sim.process import Completion, Process, Timeout, WaitFor, run_processes
+from repro.sim.resources import FifoQueue, PriorityQueueResource, Server
+from repro.sim.rng import RandomStreams, substream
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventState",
+    "Process",
+    "Completion",
+    "Timeout",
+    "WaitFor",
+    "run_processes",
+    "Server",
+    "FifoQueue",
+    "PriorityQueueResource",
+    "RandomStreams",
+    "substream",
+]

@@ -1,0 +1,210 @@
+"""The discrete-event simulation core.
+
+:class:`Simulator` maintains a simulated clock and a binary heap of
+:class:`~repro.sim.events.Event` objects.  Every simulator in this repository
+(the Section 2.1 queueing model, the Section 2.2/2.3 storage cluster, the
+Section 2.4 fat-tree network and the Section 3 wide-area models) advances time
+through this single engine, which keeps the semantics of "simulated seconds"
+consistent across substrates and makes experiments reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+from repro.sim.events import Event, EventState
+
+
+class Simulator:
+    """A minimal, fast discrete-event scheduler.
+
+    The simulator owns the clock (:attr:`now`) and an event heap.  Work is
+    scheduled with :meth:`schedule` (relative delay) or :meth:`schedule_at`
+    (absolute time) and executed by :meth:`run`, :meth:`run_until` or
+    :meth:`step`.
+
+    Example:
+        >>> sim = Simulator()
+        >>> fired = []
+        >>> _ = sim.schedule(1.5, fired.append, "hello")
+        >>> sim.run()
+        >>> sim.now, fired
+        (1.5, ['hello'])
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        """Create a simulator whose clock starts at ``start_time`` seconds."""
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have been executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events currently in the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Args:
+            delay: Non-negative delay in simulated seconds.
+            callback: Callable to invoke when the event fires.
+            *args: Positional arguments for the callback.
+            priority: Tie-break priority among events at the same timestamp;
+                lower values fire first.
+
+        Returns:
+            The scheduled :class:`Event`, which may be cancelled.
+
+        Raises:
+            SimulationError: If ``delay`` is negative or not a finite number.
+        """
+        if not delay >= 0.0:
+            raise SimulationError(f"cannot schedule an event {delay!r} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated time ``time``.
+
+        Raises:
+            SimulationError: If ``time`` is before the current clock.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6g}: clock is already at t={self._now:.6g}"
+            )
+        self._sequence += 1
+        event = Event(
+            time=float(time),
+            priority=priority,
+            sequence=self._sequence,
+            callback=callback,
+            args=args,
+        )
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event, advancing the clock to its time.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the heap is empty
+            (the clock is left unchanged in that case).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.state is EventState.CANCELLED:
+                continue
+            self._now = event.time
+            event._fire()
+            self._events_processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the event heap is exhausted (or ``max_events`` fired).
+
+        Args:
+            max_events: Optional safety cap on the number of events to
+                process; ``None`` means run to completion.
+
+        Returns:
+            The number of events processed by this call.
+
+        Raises:
+            SimulationError: If the simulator is already running (re-entrant
+                ``run`` calls from inside a callback are not allowed).
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() called re-entrantly from a callback")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped and self.step():
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        return processed
+
+    def run_until(self, until: float) -> int:
+        """Run events with timestamps ``<= until`` and set the clock to ``until``.
+
+        Events scheduled after ``until`` remain in the heap, so the simulation
+        can be resumed by a later call.
+
+        Args:
+            until: Absolute simulated time to run up to (inclusive).
+
+        Returns:
+            The number of events processed by this call.
+
+        Raises:
+            SimulationError: If ``until`` is before the current clock or the
+                simulator is already running.
+        """
+        if until < self._now:
+            raise SimulationError(
+                f"run_until({until!r}) is before the current time {self._now!r}"
+            )
+        if self._running:
+            raise SimulationError("Simulator.run_until() called re-entrantly from a callback")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped and self._heap:
+                head = self._heap[0]
+                if head.state is EventState.CANCELLED:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, until)
+        return processed
+
+    def stop(self) -> None:
+        """Request that the current :meth:`run`/:meth:`run_until` call return.
+
+        Safe to call from inside an event callback; the event currently being
+        processed completes, and no further events fire.
+        """
+        self._stopped = True
+
+    def clear(self) -> None:
+        """Drop all pending events without firing them.  The clock is kept."""
+        self._heap.clear()

@@ -1,0 +1,82 @@
+"""Scheduled events for the discrete-event simulator.
+
+An :class:`Event` is created by :meth:`repro.sim.engine.Simulator.schedule`
+and represents a callback that will fire at a given simulated time unless it
+is cancelled first.  Events are ordered by ``(time, priority, sequence)`` so
+that ties at the same timestamp are resolved deterministically: first by the
+caller-supplied priority, then by scheduling order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class EventState(enum.Enum):
+    """Lifecycle state of a scheduled event."""
+
+    PENDING = "pending"
+    """The event is in the scheduler's heap and has not fired yet."""
+
+    FIRED = "fired"
+    """The event's callback has been executed."""
+
+    CANCELLED = "cancelled"
+    """The event was cancelled before firing; its callback will never run."""
+
+
+@dataclass(order=True)
+class Event:
+    """A callback scheduled to run at a simulated time.
+
+    Instances are created by the simulator; user code normally only holds on
+    to them in order to :meth:`cancel` them (for example, a retransmission
+    timer that is no longer needed, or the losing copies of a hedged request).
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Tie-break priority for events at the same time (lower fires
+            first).  Defaults to 0.
+        sequence: Monotonically increasing scheduling sequence number used as
+            the final tie-break so ordering is fully deterministic.
+        callback: The callable invoked when the event fires (not part of the
+            ordering key).
+        args: Positional arguments passed to ``callback``.
+    """
+
+    time: float
+    priority: int = 0
+    sequence: int = 0
+    callback: Callable[..., Any] = field(compare=False, default=lambda: None)
+    args: tuple = field(compare=False, default=())
+    state: EventState = field(compare=False, default=EventState.PENDING)
+
+    def cancel(self) -> bool:
+        """Cancel the event if it has not fired yet.
+
+        Returns:
+            ``True`` if the event was pending and is now cancelled, ``False``
+            if it had already fired or was already cancelled.  Cancelling is
+            O(1): the event is left in the heap and skipped when popped.
+        """
+        if self.state is EventState.PENDING:
+            self.state = EventState.CANCELLED
+            return True
+        return False
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return self.state is EventState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before firing."""
+        return self.state is EventState.CANCELLED
+
+    def _fire(self) -> None:
+        """Run the callback and mark the event as fired (engine internal)."""
+        self.state = EventState.FIRED
+        self.callback(*self.args)

@@ -1,0 +1,159 @@
+"""Generator-based processes on top of the event engine.
+
+The callback style of :class:`~repro.sim.engine.Simulator` is fast but awkward
+for multi-step behaviours (a client that sends a request, waits, retries, ...).
+:class:`Process` wraps a Python generator so that sequential simulated
+behaviour can be written in straight-line code, SimPy-style::
+
+    def client(sim):
+        yield Timeout(1.0)            # sleep one simulated second
+        result = yield WaitFor(done)  # wait for another process / completion
+        ...
+
+    Process(sim, client(sim))
+
+Only two yieldable primitives are provided because they are all the experiment
+drivers need: :class:`Timeout` (sleep) and :class:`WaitFor` (wait until a
+:class:`Completion` is triggered, receiving its value).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import Simulator
+
+
+class Timeout:
+    """Yieldable: suspend the process for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"Timeout delay must be non-negative, got {delay!r}")
+        self.delay = float(delay)
+
+
+class Completion:
+    """A one-shot condition processes can wait on (a tiny future).
+
+    A completion starts pending; :meth:`succeed` triggers it with a value, and
+    every process waiting on it (via :class:`WaitFor`) is resumed with that
+    value.  Triggering twice is an error — completions are one-shot by design
+    so accidental double-completion in a model surfaces as a bug immediately.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        """Create a pending completion bound to ``sim``."""
+        self._sim = sim
+        self._value: Any = None
+        self._done = False
+        self._waiters: List["Process"] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether :meth:`succeed` has been called."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed` (``None`` while pending)."""
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        """Trigger the completion, resuming all waiting processes.
+
+        Raises:
+            SimulationError: If the completion was already triggered.
+        """
+        if self._done:
+            raise SimulationError("Completion.succeed() called twice")
+        self._done = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.schedule(0.0, process._resume, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._waiters.append(process)
+
+
+class WaitFor:
+    """Yieldable: suspend until ``completion`` is triggered.
+
+    The process receives ``completion.value`` as the result of the ``yield``.
+    If the completion is already done, the process resumes on the next
+    zero-delay event (so ordering stays deterministic).
+    """
+
+    __slots__ = ("completion",)
+
+    def __init__(self, completion: Completion) -> None:
+        self.completion = completion
+
+
+class Process:
+    """Drive a generator as a simulated process.
+
+    The generator may yield :class:`Timeout` or :class:`WaitFor` instances.
+    When the generator returns, the process is finished and :attr:`finished`
+    becomes ``True``; its return value (via ``return value``) is stored in
+    :attr:`result` and the :attr:`completion` is triggered with it, so other
+    processes can wait for this one.
+    """
+
+    def __init__(self, sim: Simulator, generator: Generator[Any, Any, Any]) -> None:
+        """Register ``generator`` with ``sim`` and start it at the current time."""
+        self._sim = sim
+        self._generator = generator
+        self.finished = False
+        self.result: Any = None
+        self.completion = Completion(sim)
+        sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        """Advance the generator with ``value`` and act on what it yields."""
+        try:
+            yielded = self._generator.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.completion.succeed(stop.value)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self._sim.schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, WaitFor):
+            completion = yielded.completion
+            if completion.done:
+                self._sim.schedule(0.0, self._resume, completion.value)
+            else:
+                completion._add_waiter(self)
+        elif isinstance(yielded, Process):
+            self._dispatch(WaitFor(yielded.completion))
+        else:
+            raise SimulationError(
+                f"process yielded unsupported object {yielded!r}; "
+                "expected Timeout, WaitFor or Process"
+            )
+
+
+def run_processes(sim: Simulator, *generators: Generator[Any, Any, Any]) -> Tuple[Any, ...]:
+    """Convenience helper: run ``generators`` as processes until the sim drains.
+
+    Returns:
+        The return values of the processes, in the order given.
+    """
+    processes = [Process(sim, gen) for gen in generators]
+    sim.run()
+    unfinished = [i for i, p in enumerate(processes) if not p.finished]
+    if unfinished:
+        raise SimulationError(
+            f"processes {unfinished} did not finish; they are waiting on a "
+            "completion that nothing triggers (deadlock)"
+        )
+    return tuple(p.result for p in processes)

@@ -1,0 +1,339 @@
+"""The Section 3.2 DNS replication experiment.
+
+The paper's experiment: from 15 PlanetLab vantage points, query 10 public DNS
+servers for names drawn from the Alexa top-1M list.  Stage 1 ranks the servers
+by mean response time; Stage 2 repeatedly either queries one individual server
+or queries the best ``k`` servers in parallel (k = 1..10), treating responses
+slower than 2 seconds as lost (and counting them as 2 s).
+
+PlanetLab and the public resolvers are not reachable offline, so this module
+substitutes a synthetic vantage-point model with the structure that drives the
+paper's result:
+
+* each (vantage point, server) pair has a log-normal base response time whose
+  median depends on both the server's quality and the vantage's location;
+* each query to a server independently suffers loss (→ 2 s timeout) or an
+  episode of server/path congestion with small probability — these are the
+  outliers replication masks, because they are nearly independent across
+  servers;
+* each *query* may also hit a vantage-local problem (access-link congestion)
+  that delays every copy equally — this correlated component is what keeps the
+  replicated tail from vanishing entirely, matching the measured 6.5x / 50x
+  (rather than unbounded) tail reductions.
+
+All Figure 15-17 quantities are computed by :class:`DnsExperiment`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.core.costbenefit import CostBenefitAnalysis, marginal_cost_benefit
+from repro.exceptions import ConfigurationError
+from repro.sim.rng import substream
+
+
+@dataclass(frozen=True)
+class DnsServerModel:
+    """Response-time model of one (vantage point, server) pair.
+
+    Attributes:
+        median_s: Median of the log-normal base response time.
+        sigma: Log-normal shape parameter of the base response time.
+        loss_probability: Probability a query is lost (counted as the timeout).
+        congestion_probability: Probability of an independent congestion
+            episode on this server/path.
+        congestion_mean_s: Mean extra delay of a congestion episode.
+    """
+
+    median_s: float
+    sigma: float = 0.5
+    loss_probability: float = 0.008
+    congestion_probability: float = 0.02
+    congestion_mean_s: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0 or self.sigma < 0:
+            raise ConfigurationError("median_s must be positive and sigma non-negative")
+        for p in (self.loss_probability, self.congestion_probability):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError("probabilities must be in [0, 1]")
+        if self.congestion_mean_s < 0:
+            raise ConfigurationError("congestion_mean_s must be >= 0")
+
+    def sample(self, rng: np.random.Generator, size: int, timeout_s: float) -> np.ndarray:
+        """Draw ``size`` response times, applying the 2 s loss/timeout rule."""
+        base = rng.lognormal(np.log(self.median_s), self.sigma, size)
+        congested = rng.random(size) < self.congestion_probability
+        base = base + rng.exponential(self.congestion_mean_s, size) * congested
+        lost = rng.random(size) < self.loss_probability
+        base = np.where(lost, timeout_s, base)
+        return np.minimum(base, timeout_s)
+
+    def true_mean(self, timeout_s: float, rng: np.random.Generator, samples: int = 50_000) -> float:
+        """Monte-Carlo estimate of the pair's mean response time."""
+        return float(self.sample(rng, samples, timeout_s).mean())
+
+
+@dataclass(frozen=True)
+class VantagePoint:
+    """One measurement vantage point and its view of every DNS server.
+
+    Attributes:
+        name: Identifier (e.g. ``"vp-03"``).
+        servers: Per-server response-time models, indexed by server id.
+        local_problem_probability: Probability that a query suffers a
+            vantage-local problem affecting every copy (correlated component).
+        local_problem_mean_s: Mean extra delay of such a problem.
+    """
+
+    name: str
+    servers: List[DnsServerModel]
+    local_problem_probability: float = 0.004
+    local_problem_mean_s: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ConfigurationError("a vantage point needs at least one server model")
+        if not 0.0 <= self.local_problem_probability <= 1.0:
+            raise ConfigurationError("local_problem_probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class DnsExperimentConfig:
+    """Configuration of the synthetic DNS replication experiment.
+
+    Attributes:
+        num_vantage_points: Number of vantage points (15 in the paper).
+        num_servers: Number of DNS servers (10 in the paper).
+        timeout_s: Loss/timeout threshold (2 s in the paper).
+        stage1_queries_per_server: Ranking queries per server per vantage.
+        stage2_queries_per_config: Stage-2 trials per configuration per
+            vantage.
+        bytes_per_extra_server: Extra traffic per additional server queried
+            (query + response; the paper's analysis corresponds to ~500 B).
+        seed: Base random seed.
+    """
+
+    num_vantage_points: int = 15
+    num_servers: int = 10
+    timeout_s: float = 2.0
+    stage1_queries_per_server: int = 300
+    stage2_queries_per_config: int = 2_000
+    bytes_per_extra_server: float = 500.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_vantage_points < 1 or self.num_servers < 2:
+            raise ConfigurationError("need >= 1 vantage point and >= 2 servers")
+        if self.timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        if self.stage1_queries_per_server < 10 or self.stage2_queries_per_config < 10:
+            raise ConfigurationError("need at least 10 queries per stage configuration")
+        if self.bytes_per_extra_server <= 0:
+            raise ConfigurationError("bytes_per_extra_server must be positive")
+
+
+@dataclass(frozen=True)
+class DnsResults:
+    """Everything the Figures 15-17 pipeline needs.
+
+    Attributes:
+        config: The experiment configuration.
+        samples_by_copies: Response-time samples (pooled across vantage
+            points) for querying the best ``k`` servers in parallel, keyed by
+            ``k``.
+        best_single_samples: Response times of the per-vantage best-ranked
+            single server, pooled across vantage points (the Figure 16
+            baseline).
+        reduction_percent: ``reduction_percent[metric][k]`` is the average (over
+            vantage points) percentage reduction of ``metric`` when querying
+            ``k`` servers versus the best single server; metrics are ``"mean"``,
+            ``"median"``, ``"p95"``, ``"p99"``.
+    """
+
+    config: DnsExperimentConfig
+    samples_by_copies: Dict[int, np.ndarray]
+    best_single_samples: np.ndarray
+    reduction_percent: Dict[str, Dict[int, float]]
+
+    def fraction_later_than(self, threshold_s: float, copies: int) -> float:
+        """Fraction of queries slower than ``threshold_s`` with ``copies`` servers."""
+        samples = self.samples_by_copies[copies]
+        return float(np.mean(samples > threshold_s))
+
+    def tail_improvement(self, threshold_s: float, copies: int) -> float:
+        """How many times rarer late responses become with ``copies`` servers."""
+        base = self.fraction_later_than(threshold_s, 1)
+        replicated = self.fraction_later_than(threshold_s, copies)
+        if replicated == 0:
+            return float("inf")
+        return base / replicated
+
+    def mean_latency_ms_by_copies(self) -> List[float]:
+        """Mean response time (ms) for each copy count 1..num_servers."""
+        return [
+            float(self.samples_by_copies[k].mean() * 1000.0)
+            for k in sorted(self.samples_by_copies)
+        ]
+
+    def percentile_latency_ms_by_copies(self, percentile: float) -> List[float]:
+        """A percentile of response time (ms) for each copy count."""
+        return [
+            float(np.percentile(self.samples_by_copies[k], percentile) * 1000.0)
+            for k in sorted(self.samples_by_copies)
+        ]
+
+    def marginal_analysis(self, metric: str = "mean") -> List[CostBenefitAnalysis]:
+        """Figure 17: marginal ms/KB value of each extra server.
+
+        Args:
+            metric: ``"mean"`` or ``"p99"``.
+        """
+        if metric == "mean":
+            latencies = self.mean_latency_ms_by_copies()
+        elif metric == "p99":
+            latencies = self.percentile_latency_ms_by_copies(99.0)
+        else:
+            raise ConfigurationError(f"unknown metric {metric!r}; use 'mean' or 'p99'")
+        return marginal_cost_benefit(latencies, self.config.bytes_per_extra_server)
+
+
+class DnsExperiment:
+    """Builds the synthetic vantage points and runs the two-stage protocol."""
+
+    def __init__(self, config: Optional[DnsExperimentConfig] = None) -> None:
+        """Create the experiment (default configuration matches the paper's scale)."""
+        self.config = config or DnsExperimentConfig()
+        self.vantage_points = self._build_vantage_points()
+
+    # ------------------------------------------------------------------ #
+
+    def _build_vantage_points(self) -> List[VantagePoint]:
+        """Generate vantage points with heterogeneous server quality.
+
+        Server quality has two components: a global per-server factor (some
+        anycast providers are simply faster) and a per-vantage factor
+        (geographic distance), so the best server differs across vantage
+        points — which is why the paper needs the per-vantage ranking stage.
+        """
+        config = self.config
+        rng = substream(config.seed, "vantage-build")
+        server_quality = rng.uniform(0.015, 0.060, config.num_servers)
+        vantage_points: List[VantagePoint] = []
+        for vp_index in range(config.num_vantage_points):
+            distance_factor = rng.uniform(0.8, 2.5, config.num_servers)
+            servers = []
+            for server_index in range(config.num_servers):
+                median = float(server_quality[server_index] * distance_factor[server_index])
+                servers.append(
+                    DnsServerModel(
+                        median_s=median,
+                        sigma=float(rng.uniform(0.4, 0.7)),
+                        loss_probability=float(rng.uniform(0.004, 0.015)),
+                        congestion_probability=float(rng.uniform(0.01, 0.03)),
+                        congestion_mean_s=float(rng.uniform(0.2, 0.4)),
+                    )
+                )
+            vantage_points.append(
+                VantagePoint(
+                    name=f"vp-{vp_index:02d}",
+                    servers=servers,
+                    local_problem_probability=0.004,
+                    local_problem_mean_s=0.4,
+                )
+            )
+        return vantage_points
+
+    # ------------------------------------------------------------------ #
+
+    def rank_servers(self, vantage: VantagePoint) -> List[int]:
+        """Stage 1: rank servers by measured mean response time at ``vantage``."""
+        config = self.config
+        rng = substream(config.seed, "stage1", vantage.name)
+        means = []
+        for server_id, server in enumerate(vantage.servers):
+            samples = server.sample(rng, config.stage1_queries_per_server, config.timeout_s)
+            means.append((float(samples.mean()), server_id))
+        means.sort()
+        return [server_id for _mean, server_id in means]
+
+    def _stage2_samples(
+        self, vantage: VantagePoint, ranking: Sequence[int], copies: int
+    ) -> np.ndarray:
+        """Stage 2 samples for querying the ``copies`` best servers in parallel."""
+        config = self.config
+        rng = substream(config.seed, "stage2", vantage.name, copies)
+        count = config.stage2_queries_per_config
+        chosen = list(ranking[:copies])
+        per_server = np.stack(
+            [vantage.servers[s].sample(rng, count, config.timeout_s) for s in chosen], axis=1
+        )
+        best = per_server.min(axis=1)
+        local = rng.random(count) < vantage.local_problem_probability
+        best = best + rng.exponential(vantage.local_problem_mean_s, count) * local
+        return np.minimum(best, config.timeout_s)
+
+    def run(self, copies_list: Optional[Sequence[int]] = None) -> DnsResults:
+        """Run the full two-stage experiment at every vantage point.
+
+        Args:
+            copies_list: Copy counts to evaluate (default 1..num_servers).
+
+        Returns:
+            A :class:`DnsResults` pooling samples across vantage points.
+        """
+        config = self.config
+        if copies_list is None:
+            copies_list = list(range(1, config.num_servers + 1))
+        copies_list = sorted(set(int(k) for k in copies_list))
+        if any(k < 1 or k > config.num_servers for k in copies_list):
+            raise ConfigurationError(
+                f"copy counts must be in [1, {config.num_servers}], got {copies_list!r}"
+            )
+
+        pooled: Dict[int, List[np.ndarray]] = {k: [] for k in copies_list}
+        best_single: List[np.ndarray] = []
+        reductions: Dict[str, Dict[int, List[float]]] = {
+            metric: {k: [] for k in copies_list} for metric in ("mean", "median", "p95", "p99")
+        }
+
+        for vantage in self.vantage_points:
+            ranking = self.rank_servers(vantage)
+            baseline = self._stage2_samples(vantage, ranking, 1)
+            best_single.append(baseline)
+            baseline_stats = {
+                "mean": float(baseline.mean()),
+                "median": float(np.percentile(baseline, 50)),
+                "p95": float(np.percentile(baseline, 95)),
+                "p99": float(np.percentile(baseline, 99)),
+            }
+            for k in copies_list:
+                samples = baseline if k == 1 else self._stage2_samples(vantage, ranking, k)
+                pooled[k].append(samples)
+                stats = {
+                    "mean": float(samples.mean()),
+                    "median": float(np.percentile(samples, 50)),
+                    "p95": float(np.percentile(samples, 95)),
+                    "p99": float(np.percentile(samples, 99)),
+                }
+                for metric, base_value in baseline_stats.items():
+                    if base_value > 0:
+                        reductions[metric][k].append(
+                            100.0 * (base_value - stats[metric]) / base_value
+                        )
+
+        reduction_percent = {
+            metric: {k: float(np.mean(values)) for k, values in per_metric.items()}
+            for metric, per_metric in reductions.items()
+        }
+        return DnsResults(
+            config=config,
+            samples_by_copies={k: np.concatenate(arrays) for k, arrays in pooled.items()},
+            best_single_samples=np.concatenate(best_single),
+            reduction_percent=reduction_percent,
+        )

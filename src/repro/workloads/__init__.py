@@ -1,0 +1,15 @@
+"""Workload generation: arrival processes, key popularity and file sets."""
+
+from repro.workloads.arrivals import PoissonArrivals, RenewalArrivals, merge_arrival_times
+from repro.workloads.keys import UniformKeys, ZipfKeys
+from repro.workloads.filesets import FileSet, build_fileset_for_cache_ratio
+
+__all__ = [
+    "PoissonArrivals",
+    "RenewalArrivals",
+    "merge_arrival_times",
+    "UniformKeys",
+    "ZipfKeys",
+    "FileSet",
+    "build_fileset_for_cache_ratio",
+]

@@ -1,0 +1,128 @@
+"""Arrival processes.
+
+All of the paper's experiments use open-loop Poisson arrivals ("requests
+arrive in the system according to a Poisson process", Section 2.1; "a set of
+client nodes generate requests according to identical Poisson processes",
+Section 2.2; "flow arrivals are Poisson", Section 2.4).  This module provides
+Poisson arrivals plus a general renewal process (for sensitivity studies where
+the inter-arrival distribution is varied).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+import numpy as np
+
+from repro.distributions.base import Distribution
+from repro.exceptions import ConfigurationError
+
+
+class PoissonArrivals:
+    """A homogeneous Poisson arrival process with the given rate.
+
+    Instances are iterable generators of absolute arrival times and can also
+    produce fixed-count or fixed-horizon arrays for the vectorised simulators.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator, start: float = 0.0) -> None:
+        """Create a Poisson process.
+
+        Args:
+            rate: Arrival rate in events per second (> 0).
+            rng: Random generator supplying the exponential gaps.
+            start: Time of the process origin (first arrival occurs after it).
+        """
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self._rng = rng
+        self.start = float(start)
+
+    def __iter__(self) -> Iterator[float]:
+        t = self.start
+        while True:
+            t += self._rng.exponential(1.0 / self.rate)
+            yield t
+
+    def next_after(self, t: float) -> float:
+        """Return one arrival time strictly after ``t`` (memoryless property)."""
+        return t + float(self._rng.exponential(1.0 / self.rate))
+
+    def times_count(self, count: int) -> np.ndarray:
+        """Return the first ``count`` arrival times as an array."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count!r}")
+        gaps = self._rng.exponential(1.0 / self.rate, count)
+        return self.start + np.cumsum(gaps)
+
+    def times_until(self, horizon: float) -> np.ndarray:
+        """Return all arrival times in ``(start, horizon]``.
+
+        Generates in blocks sized from the expected count to avoid quadratic
+        behaviour for long horizons.
+        """
+        if horizon < self.start:
+            raise ConfigurationError("horizon must be at or after the start time")
+        expected = max(16, int((horizon - self.start) * self.rate * 1.1) + 16)
+        times: List[np.ndarray] = []
+        t = self.start
+        while t <= horizon:
+            gaps = self._rng.exponential(1.0 / self.rate, expected)
+            block = t + np.cumsum(gaps)
+            times.append(block)
+            t = float(block[-1])
+        all_times = np.concatenate(times)
+        return all_times[all_times <= horizon]
+
+
+class RenewalArrivals:
+    """A renewal arrival process with i.i.d. inter-arrival times.
+
+    Used by sensitivity studies that replace Poisson arrivals with lower- or
+    higher-variability inter-arrival distributions.
+    """
+
+    def __init__(
+        self,
+        interarrival: Distribution,
+        rng: np.random.Generator,
+        start: float = 0.0,
+    ) -> None:
+        """Create a renewal process with the given inter-arrival distribution."""
+        self.interarrival = interarrival
+        self._rng = rng
+        self.start = float(start)
+
+    def __iter__(self) -> Iterator[float]:
+        t = self.start
+        while True:
+            t += float(self.interarrival.sample(self._rng))
+            yield t
+
+    def times_count(self, count: int) -> np.ndarray:
+        """Return the first ``count`` arrival times as an array."""
+        if count < 0:
+            raise ConfigurationError(f"count must be >= 0, got {count!r}")
+        gaps = np.asarray(self.interarrival.sample(self._rng, count), dtype=float)
+        return self.start + np.cumsum(gaps)
+
+    def rate(self) -> float:
+        """Long-run arrival rate (1 / mean inter-arrival time)."""
+        return 1.0 / self.interarrival.mean()
+
+
+def merge_arrival_times(streams: Iterable[np.ndarray]) -> np.ndarray:
+    """Merge several sorted arrival-time arrays into one sorted array.
+
+    Used to combine the per-client Poisson processes of the cluster
+    experiments into the aggregate arrival stream seen by the servers (the
+    superposition of Poisson processes is Poisson, but the merge is also
+    correct for arbitrary streams).
+    """
+    arrays = [np.asarray(s, dtype=float) for s in streams if len(s)]
+    if not arrays:
+        return np.empty(0, dtype=float)
+    merged = np.concatenate(arrays)
+    merged.sort(kind="mergesort")
+    return merged

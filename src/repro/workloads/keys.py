@@ -1,0 +1,77 @@
+"""Key/object popularity models.
+
+The paper's storage experiments request "a file chosen uniformly at random
+from the entire collection" (Section 2.2); :class:`UniformKeys` models that.
+:class:`ZipfKeys` is provided for the skewed-popularity sensitivity study
+(skew increases the cache hit rate and therefore lowers service-time
+variability, which by Section 2.1 should shrink the benefit of replication).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class UniformKeys:
+    """Uniformly random key selection over ``num_keys`` objects."""
+
+    def __init__(self, num_keys: int, rng: np.random.Generator) -> None:
+        """Create a uniform selector over keys ``0..num_keys-1``."""
+        if num_keys <= 0:
+            raise ConfigurationError(f"num_keys must be positive, got {num_keys!r}")
+        self.num_keys = int(num_keys)
+        self._rng = rng
+
+    def sample(self, size: Optional[int] = None):
+        """Draw one key (``size=None``) or an array of keys."""
+        out = self._rng.integers(0, self.num_keys, size=size)
+        if size is None:
+            return int(out)
+        return out
+
+    def probability_of(self, key: int) -> float:
+        """The probability of selecting ``key`` on any request."""
+        if not 0 <= key < self.num_keys:
+            raise ConfigurationError(f"key {key!r} outside [0, {self.num_keys})")
+        return 1.0 / self.num_keys
+
+
+class ZipfKeys:
+    """Zipf-distributed key selection: P(key = i) ∝ 1 / (i + 1)^s."""
+
+    def __init__(self, num_keys: int, skew: float, rng: np.random.Generator) -> None:
+        """Create a Zipf selector.
+
+        Args:
+            num_keys: Number of distinct keys.
+            skew: Zipf exponent ``s`` (0 = uniform; ~1 is typical web skew).
+            rng: Random generator.
+        """
+        if num_keys <= 0:
+            raise ConfigurationError(f"num_keys must be positive, got {num_keys!r}")
+        if skew < 0:
+            raise ConfigurationError(f"skew must be >= 0, got {skew!r}")
+        self.num_keys = int(num_keys)
+        self.skew = float(skew)
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, num_keys + 1, dtype=float), skew)
+        self._probs = weights / weights.sum()
+        self._cdf = np.cumsum(self._probs)
+
+    def sample(self, size: Optional[int] = None):
+        """Draw one key (``size=None``) or an array of keys, by inverse CDF."""
+        u = self._rng.uniform(0.0, 1.0, size=size)
+        out = np.searchsorted(self._cdf, u, side="left")
+        if size is None:
+            return int(out)
+        return out.astype(np.int64)
+
+    def probability_of(self, key: int) -> float:
+        """The probability of selecting ``key`` on any request."""
+        if not 0 <= key < self.num_keys:
+            raise ConfigurationError(f"key {key!r} outside [0, {self.num_keys})")
+        return float(self._probs[key])

@@ -1,0 +1,20 @@
+"""Shared pytest fixtures."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def rng_factory():
+    """A factory for deterministic generators with distinct seeds."""
+
+    def make(seed: int = 0) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    return make

@@ -1,0 +1,194 @@
+"""Tests for the asyncio hedged-execution layer."""
+
+import asyncio
+
+import pytest
+
+from repro.core import (
+    HedgeAfterDelay,
+    KCopies,
+    LatencyTracker,
+    NoReplication,
+    RedundantClient,
+    first_completed,
+    hedged_call,
+)
+from repro.core.selection import RankedBest
+from repro.exceptions import ConfigurationError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def backend(value, delay, fail=False):
+    await asyncio.sleep(delay)
+    if fail:
+        raise RuntimeError(f"backend {value} failed")
+    return value
+
+
+class TestFirstCompleted:
+    def test_fastest_wins(self):
+        result = run(first_completed([backend("slow", 0.05), backend("fast", 0.0)]))
+        assert result == "fast"
+
+    def test_failure_tolerated_when_another_succeeds(self):
+        result = run(
+            first_completed([backend("bad", 0.0, fail=True), backend("good", 0.01)])
+        )
+        assert result == "good"
+
+    def test_all_failures_raise(self):
+        with pytest.raises(RuntimeError):
+            run(first_completed([backend("a", 0.0, fail=True), backend("b", 0.0, fail=True)]))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(first_completed([]))
+
+    def test_losers_are_cancelled(self):
+        cancelled = []
+
+        async def slow():
+            try:
+                await asyncio.sleep(5.0)
+            except asyncio.CancelledError:
+                cancelled.append(True)
+                raise
+            return "slow"
+
+        async def scenario():
+            return await first_completed([slow(), backend("fast", 0.0)])
+
+        assert run(scenario()) == "fast"
+        assert cancelled == [True]
+
+
+class TestHedgedCall:
+    def test_two_eager_copies_take_the_faster(self):
+        result = run(
+            hedged_call(
+                [lambda: backend("a", 0.05), lambda: backend("b", 0.0)],
+                policy=KCopies(2),
+            )
+        )
+        assert result.value == "b"
+        assert result.winner == 1
+        assert result.errors == []
+
+    def test_no_replication_uses_single_factory(self):
+        result = run(hedged_call([lambda: backend("only", 0.0)], policy=NoReplication()))
+        assert result.value == "only"
+        assert result.copies_launched == 1
+
+    def test_hedge_after_delay_skips_backup_when_primary_fast(self):
+        result = run(
+            hedged_call(
+                [lambda: backend("primary", 0.0), lambda: backend("backup", 0.0)],
+                policy=HedgeAfterDelay(delay=0.5),
+            )
+        )
+        assert result.value == "primary"
+        assert result.copies_launched == 1
+
+    def test_hedge_after_delay_fires_backup_when_primary_slow(self):
+        result = run(
+            hedged_call(
+                [lambda: backend("primary", 0.5), lambda: backend("backup", 0.0)],
+                policy=HedgeAfterDelay(delay=0.01),
+            )
+        )
+        assert result.value == "backup"
+        assert result.copies_launched == 2
+
+    def test_all_copies_failing_raises(self):
+        with pytest.raises(RuntimeError):
+            run(
+                hedged_call(
+                    [lambda: backend("a", 0.0, fail=True), lambda: backend("b", 0.0, fail=True)],
+                    policy=KCopies(2),
+                )
+            )
+
+    def test_errors_recorded_when_winner_exists(self):
+        result = run(
+            hedged_call(
+                [lambda: backend("a", 0.0, fail=True), lambda: backend("b", 0.02)],
+                policy=KCopies(2),
+            )
+        )
+        assert result.value == "b"
+        assert len(result.errors) == 1
+
+    def test_too_few_factories_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(hedged_call([lambda: backend("a", 0.0)], policy=KCopies(2)))
+
+    def test_default_policy_is_two_copies(self):
+        result = run(hedged_call([lambda: backend("a", 0.0), lambda: backend("b", 0.01)]))
+        assert result.value == "a"
+
+
+class TestLatencyTracker:
+    def test_percentile_and_mean(self):
+        tracker = LatencyTracker()
+        for value in (0.1, 0.2, 0.3, 0.4, 1.0):
+            tracker.record(value)
+        assert tracker.mean() == pytest.approx(0.4)
+        assert tracker.percentile(50) == pytest.approx(0.3)
+        assert tracker.percentile(100) == pytest.approx(1.0)
+
+    def test_window_eviction(self):
+        tracker = LatencyTracker(window=3)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            tracker.record(value)
+        assert len(tracker) == 3
+        assert tracker.percentile(0) == pytest.approx(2.0)
+
+    def test_empty_tracker_errors(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTracker().percentile(50)
+        with pytest.raises(ConfigurationError):
+            LatencyTracker().mean()
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            LatencyTracker().record(-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyTracker(window=0)
+
+
+class TestRedundantClient:
+    def test_request_returns_fastest_backend(self):
+        async def fast(key):
+            return ("fast", key)
+
+        async def slow(key):
+            await asyncio.sleep(0.05)
+            return ("slow", key)
+
+        client = RedundantClient([slow, fast], policy=KCopies(2), selection=RankedBest([0, 1]))
+        result = run(client.request(key="name"))
+        assert result.value == ("fast", "name")
+
+    def test_latency_recorded(self):
+        async def quick(key):
+            return key
+
+        client = RedundantClient([quick, quick])
+        run(client.request(key="x"))
+        run(client.request(key="y"))
+        assert len(client.tracker) == 2
+
+    def test_policy_capped_by_backend_count(self):
+        async def only(key):
+            return key
+
+        client = RedundantClient([only], policy=KCopies(3))
+        result = run(client.request(key="z"))
+        assert result.value == "z"
+
+    def test_needs_at_least_one_backend(self):
+        with pytest.raises(ConfigurationError):
+            RedundantClient([])

@@ -1,0 +1,78 @@
+"""Tests for replication/hedging policies."""
+
+import pytest
+
+from repro.core import HedgeAfterDelay, HedgeOnPercentile, KCopies, NoReplication
+from repro.exceptions import ConfigurationError
+
+
+class TestNoReplication:
+    def test_single_immediate_copy(self):
+        assert NoReplication().launch_delays() == [0.0]
+        assert NoReplication().max_copies == 1
+
+
+class TestKCopies:
+    def test_all_copies_immediate(self):
+        assert KCopies(3).launch_delays() == [0.0, 0.0, 0.0]
+
+    def test_default_is_two_copies(self):
+        assert KCopies().max_copies == 2
+
+    def test_invalid_copies(self):
+        with pytest.raises(ConfigurationError):
+            KCopies(0)
+        with pytest.raises(ConfigurationError):
+            KCopies(2.5)
+
+    def test_record_latency_is_a_noop(self):
+        policy = KCopies(2)
+        policy.record_latency(1.0)  # must not raise
+        assert policy.launch_delays() == [0.0, 0.0]
+
+
+class TestHedgeAfterDelay:
+    def test_backups_staggered(self):
+        policy = HedgeAfterDelay(delay=0.01, extra_copies=2)
+        assert policy.launch_delays() == pytest.approx([0.0, 0.01, 0.02])
+
+    def test_single_backup_default(self):
+        assert HedgeAfterDelay(0.05).launch_delays() == [0.0, 0.05]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            HedgeAfterDelay(-0.1)
+        with pytest.raises(ConfigurationError):
+            HedgeAfterDelay(0.1, extra_copies=0)
+
+
+class TestHedgeOnPercentile:
+    def test_uses_initial_delay_before_data(self):
+        policy = HedgeOnPercentile(percentile=95.0, initial_delay=0.2)
+        assert policy.launch_delays() == [0.0, 0.2]
+
+    def test_adapts_to_recorded_latencies(self):
+        policy = HedgeOnPercentile(percentile=90.0, initial_delay=1.0)
+        for i in range(100):
+            policy.record_latency(0.001 * (i + 1))
+        delay = policy.current_delay()
+        assert 0.08 <= delay <= 0.1
+        assert policy.launch_delays()[1] == pytest.approx(delay)
+
+    def test_window_bounds_memory(self):
+        policy = HedgeOnPercentile(window=50)
+        for _ in range(200):
+            policy.record_latency(1.0)
+        assert len(policy._latencies) == 50
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            HedgeOnPercentile(percentile=0.0)
+        with pytest.raises(ConfigurationError):
+            HedgeOnPercentile(initial_delay=-1.0)
+        with pytest.raises(ConfigurationError):
+            HedgeOnPercentile(window=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HedgeOnPercentile().record_latency(-1.0)

@@ -1,0 +1,51 @@
+"""Tests for the datacenter flow-size distribution (Section 2.4 workload)."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DataCenterFlowSizes
+from repro.exceptions import DistributionError
+
+
+class TestDataCenterFlowSizes:
+    def test_sizes_within_published_range(self, rng):
+        dist = DataCenterFlowSizes()
+        samples = dist.sample(rng, 50_000)
+        assert samples.min() >= 1_000.0
+        assert samples.max() <= 3_000_000.0
+
+    def test_more_than_80_percent_below_10kb(self, rng):
+        dist = DataCenterFlowSizes()
+        samples = dist.sample(rng, 50_000)
+        assert np.mean(samples < 10_000.0) > 0.80
+
+    def test_fraction_below_matches_samples(self, rng):
+        dist = DataCenterFlowSizes()
+        samples = dist.sample(rng, 100_000)
+        for threshold in (4_000.0, 10_000.0, 100_000.0):
+            assert dist.fraction_below(threshold) == pytest.approx(
+                float(np.mean(samples <= threshold)), abs=0.02
+            )
+
+    def test_elephants_carry_most_bytes(self, rng):
+        dist = DataCenterFlowSizes()
+        share = dist.bytes_fraction_from_elephants(1_000_000.0, rng, samples=100_000)
+        assert share > 0.5  # "the majority of the traffic volume"
+
+    def test_analytic_mean_matches_sample_mean(self, rng):
+        dist = DataCenterFlowSizes()
+        samples = dist.sample(rng, 200_000)
+        assert float(samples.mean()) == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_fraction_below_extremes(self):
+        dist = DataCenterFlowSizes()
+        assert dist.fraction_below(100.0) == 0.0
+        assert dist.fraction_below(10_000_000.0) == 1.0
+
+    def test_invalid_knots_rejected(self):
+        with pytest.raises(DistributionError):
+            DataCenterFlowSizes(knots=((1000.0, 0.0),))
+        with pytest.raises(DistributionError):
+            DataCenterFlowSizes(knots=((1000.0, 0.0), (500.0, 1.0)))
+        with pytest.raises(DistributionError):
+            DataCenterFlowSizes(knots=((1000.0, 0.2), (2000.0, 1.0)))

@@ -1,0 +1,96 @@
+"""Tests for discrete distributions and the Figure 3 random families."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteDistribution, TwoPoint, random_unit_mean_discrete
+from repro.exceptions import DistributionError
+
+
+class TestDiscreteDistribution:
+    def test_moments(self):
+        dist = DiscreteDistribution([1.0, 3.0], [0.5, 0.5])
+        assert dist.mean() == 2.0
+        assert dist.variance() == 1.0
+
+    def test_samples_only_from_support(self, rng):
+        dist = DiscreteDistribution([1.0, 5.0, 9.0], [0.2, 0.3, 0.5])
+        samples = dist.sample(rng, 1000)
+        assert set(np.unique(samples)).issubset({1.0, 5.0, 9.0})
+
+    def test_normalized_has_unit_mean(self):
+        dist = DiscreteDistribution([2.0, 6.0], [0.5, 0.5]).normalized()
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([1.0, 2.0], [0.5, 0.6])
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([-1.0, 2.0], [0.5, 0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution([1.0], [0.5, 0.5])
+
+
+class TestTwoPoint:
+    def test_unit_mean_for_all_p(self):
+        for p in (0.0, 0.3, 0.9, 0.99):
+            assert TwoPoint(p).mean() == pytest.approx(1.0)
+
+    def test_variance_grows_with_p(self):
+        variances = [TwoPoint(p).variance() for p in (0.1, 0.5, 0.9, 0.99)]
+        assert variances == sorted(variances)
+        assert variances[0] < variances[-1]
+
+    def test_p_zero_is_degenerate_at_high_value(self, rng):
+        dist = TwoPoint(0.0)
+        assert dist.variance() == pytest.approx(0.0)
+        assert dist.sample(rng) == pytest.approx(1.0)
+
+    def test_samples_take_only_two_values(self, rng):
+        dist = TwoPoint(0.5)
+        samples = dist.sample(rng, 2000)
+        assert set(np.round(np.unique(samples), 9)) == {0.5, round(dist.high, 9)}
+
+    def test_invalid_p(self):
+        with pytest.raises(DistributionError):
+            TwoPoint(1.0)
+
+
+class TestRandomUnitMeanDiscrete:
+    def test_uniform_sampling_has_unit_mean(self, rng):
+        for support in (2, 8, 64):
+            dist = random_unit_mean_discrete(support, rng, method="uniform")
+            assert dist.mean() == pytest.approx(1.0)
+
+    def test_dirichlet_sampling_has_unit_mean(self, rng):
+        dist = random_unit_mean_discrete(16, rng, method="dirichlet", concentration=0.1)
+        assert dist.mean() == pytest.approx(1.0)
+
+    def test_support_size_respected(self, rng):
+        dist = random_unit_mean_discrete(5, rng)
+        assert len(dist.values) == 5
+
+    def test_dirichlet_low_concentration_gives_wider_spread_of_shapes(self, rng):
+        # The paper uses Dirichlet(0.1) because it "generates a larger spread
+        # of distributions than uniform sampling": probability mass piles onto
+        # a few support points, so the sampled probability vectors are far
+        # more skewed than uniform-simplex draws.
+        uniform_peak = np.mean(
+            [random_unit_mean_discrete(32, rng, "uniform").probs.max() for _ in range(30)]
+        )
+        dirichlet_peak = np.mean(
+            [random_unit_mean_discrete(32, rng, "dirichlet", 0.1).probs.max() for _ in range(30)]
+        )
+        assert dirichlet_peak > uniform_peak
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(DistributionError):
+            random_unit_mean_discrete(4, rng, method="bogus")
+
+    def test_invalid_support_rejected(self, rng):
+        with pytest.raises(DistributionError):
+            random_unit_mean_discrete(0, rng)

@@ -1,0 +1,40 @@
+"""Tests for the empirical (bootstrap) distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import Empirical
+from repro.exceptions import DistributionError
+
+
+class TestEmpirical:
+    def test_moments_match_data(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        dist = Empirical(data)
+        assert dist.mean() == pytest.approx(np.mean(data))
+        assert dist.variance() == pytest.approx(np.var(data))
+
+    def test_samples_drawn_from_data(self, rng):
+        data = [1.0, 5.0, 7.0]
+        samples = Empirical(data).sample(rng, 500)
+        assert set(np.unique(samples)).issubset(set(data))
+
+    def test_percentile(self):
+        dist = Empirical(list(range(101)))
+        assert dist.percentile(50) == pytest.approx(50.0)
+        assert dist.percentile(99) == pytest.approx(99.0)
+
+    def test_len(self):
+        assert len(Empirical([1.0, 2.0])) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            Empirical([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(DistributionError):
+            Empirical([1.0, -2.0])
+
+    def test_percentile_out_of_range(self):
+        with pytest.raises(DistributionError):
+            Empirical([1.0]).percentile(150)

@@ -1,0 +1,67 @@
+"""Tests for the Figure 2 unit-mean service-time families."""
+
+import math
+
+import pytest
+
+from repro.distributions import pareto_family, two_point_family, weibull_family
+from repro.exceptions import DistributionError
+
+
+class TestWeibullFamily:
+    def test_gamma_zero_is_deterministic(self):
+        assert weibull_family(0.0).variance() == 0.0
+
+    def test_unit_mean_across_family(self):
+        for gamma in (0.5, 1.0, 2.0, 8.0):
+            assert weibull_family(gamma).mean() == pytest.approx(1.0)
+
+    def test_variance_increases_with_gamma(self):
+        variances = [weibull_family(g).variance() for g in (0.5, 1.0, 2.0, 4.0)]
+        assert variances == sorted(variances)
+
+    def test_gamma_one_is_exponential(self):
+        assert weibull_family(1.0).cv2() == pytest.approx(1.0)
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(DistributionError):
+            weibull_family(-0.1)
+
+
+class TestParetoFamily:
+    def test_beta_zero_is_deterministic(self):
+        assert pareto_family(0.0).variance() == 0.0
+
+    def test_unit_mean_across_family(self):
+        for beta in (0.1, 0.5, 0.9):
+            assert pareto_family(beta).mean() == pytest.approx(1.0)
+
+    def test_variance_increases_with_beta(self):
+        variances = [pareto_family(b).variance() for b in (0.2, 0.4, 0.45)]
+        assert variances == sorted(variances)
+
+    def test_variance_diverges_near_one(self):
+        # As beta -> 1 the tail index approaches 2, where the variance of the
+        # unit-mean Pareto (1 / (alpha * (alpha - 2))) diverges.
+        assert pareto_family(0.95).variance() > 5 * pareto_family(0.5).variance()
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(DistributionError):
+            pareto_family(1.0)
+
+
+class TestTwoPointFamily:
+    def test_p_zero_is_deterministic(self):
+        assert two_point_family(0.0).variance() == 0.0
+
+    def test_unit_mean_across_family(self):
+        for p in (0.1, 0.5, 0.9, 0.99):
+            assert two_point_family(p).mean() == pytest.approx(1.0)
+
+    def test_variance_increases_with_p(self):
+        variances = [two_point_family(p).variance() for p in (0.2, 0.6, 0.95)]
+        assert variances == sorted(variances)
+
+    def test_invalid_p_rejected(self):
+        with pytest.raises(DistributionError):
+            two_point_family(-0.1)

@@ -1,0 +1,189 @@
+"""Tests for the M/M/1, M/G/1 and heavy-tail analytics (Theorems 1-3 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.distributions import Deterministic, Erlang, Exponential, HyperExponential, Pareto
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.queueing import (
+    HEAVY_TAIL_ALPHA_LIMIT,
+    MG1Queue,
+    MM1Queue,
+    heavy_tail_threshold_lower_bound,
+    heavy_tail_wait_survival,
+    mm1_replicated_mean_response,
+    mm1_threshold_load,
+    pollaczek_khinchine_wait,
+    two_moment_response_survival,
+)
+from repro.queueing.heavy_tail import heavy_tail_response_survival, pareto_integrated_tail
+from repro.queueing.mg1 import expected_minimum_response
+from repro.queueing.mm1 import mm1_replicated_response_survival
+
+
+class TestMM1:
+    def test_mean_response_formula(self):
+        queue = MM1Queue(arrival_rate=0.5, service_rate=1.0)
+        assert queue.mean_response_time() == pytest.approx(2.0)
+        assert queue.mean_waiting_time() == pytest.approx(1.0)
+        assert queue.utilization == pytest.approx(0.5)
+
+    def test_survival_is_exponential(self):
+        queue = MM1Queue(arrival_rate=0.2)
+        assert queue.response_time_survival(1.0) == pytest.approx(math.exp(-0.8))
+        assert queue.response_time_survival(-1.0) == 1.0
+
+    def test_quantile_inverts_survival(self):
+        queue = MM1Queue(arrival_rate=0.3)
+        q90 = queue.response_time_quantile(0.9)
+        assert queue.response_time_survival(q90) == pytest.approx(0.1)
+
+    def test_unstable_queue_rejected(self):
+        with pytest.raises(CapacityError):
+            MM1Queue(arrival_rate=1.0, service_rate=1.0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MM1Queue(arrival_rate=-0.1)
+
+
+class TestTheorem1:
+    def test_threshold_is_one_third_for_two_copies(self):
+        assert mm1_threshold_load(2) == pytest.approx(1.0 / 3.0)
+
+    def test_threshold_general_k(self):
+        assert mm1_threshold_load(3) == pytest.approx(0.25)
+        assert mm1_threshold_load(4) == pytest.approx(0.2)
+
+    def test_replication_helps_below_threshold(self):
+        load = 0.25
+        assert mm1_replicated_mean_response(load, 2) < 1.0 / (1.0 - load)
+
+    def test_replication_hurts_above_threshold(self):
+        load = 0.4
+        assert mm1_replicated_mean_response(load, 2) > 1.0 / (1.0 - load)
+
+    def test_replication_indifferent_at_threshold(self):
+        load = 1.0 / 3.0
+        assert mm1_replicated_mean_response(load, 2) == pytest.approx(1.0 / (1.0 - load))
+
+    def test_saturated_replicated_load_rejected(self):
+        with pytest.raises(CapacityError):
+            mm1_replicated_mean_response(0.5, 2)
+
+    def test_replicated_survival_bounds(self):
+        assert mm1_replicated_response_survival(0.2, 0.0) == 1.0
+        assert mm1_replicated_response_survival(0.2, 10.0) < 1e-4
+
+    def test_copies_below_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mm1_threshold_load(1)
+
+
+class TestPollaczekKhinchine:
+    def test_exponential_matches_mm1(self):
+        # For exponential service the P-K formula must agree with M/M/1.
+        load = 0.4
+        expected = MM1Queue(arrival_rate=load).mean_waiting_time()
+        assert pollaczek_khinchine_wait(Exponential(1.0), load) == pytest.approx(expected)
+
+    def test_deterministic_half_of_exponential(self):
+        # E[W] for M/D/1 is exactly half the M/M/1 value.
+        load = 0.5
+        det = pollaczek_khinchine_wait(Deterministic(1.0), load)
+        exp = pollaczek_khinchine_wait(Exponential(1.0), load)
+        assert det == pytest.approx(exp / 2.0)
+
+    def test_wait_increases_with_variability(self):
+        load = 0.3
+        waits = [
+            pollaczek_khinchine_wait(dist, load)
+            for dist in (Deterministic(1.0), Erlang(4, 1.0), Exponential(1.0),
+                         HyperExponential.from_mean_cv2(1.0, 4.0))
+        ]
+        assert waits == sorted(waits)
+
+    def test_zero_load_zero_wait(self):
+        assert pollaczek_khinchine_wait(Exponential(1.0), 0.0) == 0.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(CapacityError):
+            pollaczek_khinchine_wait(Exponential(1.0), 1.0)
+
+    def test_infinite_variance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pollaczek_khinchine_wait(Pareto(alpha=1.9, mean=1.0), 0.3)
+
+    def test_mg1_queue_wrapper(self):
+        queue = MG1Queue(Exponential(1.0), 0.25)
+        assert queue.mean_response_time() == pytest.approx(1.0 / 0.75)
+        assert 0.0 < queue.waiting_time_survival(0.5) < 1.0
+
+
+class TestTwoMomentApproximation:
+    def test_matches_mm1_survival_for_exponential_service(self):
+        load = 0.3
+        t_grid = np.linspace(0.0, 8.0, 60)
+        approx = two_moment_response_survival(Exponential(1.0), load, t_grid,
+                                              num_service_samples=40_000)
+        queue = MM1Queue(arrival_rate=load)
+        exact = np.array([queue.response_time_survival(t) for t in t_grid])
+        assert np.max(np.abs(approx - exact)) < 0.03
+
+    def test_zero_load_equals_service_tail(self, rng):
+        t_grid = np.array([0.5, 1.5])
+        approx = two_moment_response_survival(Deterministic(1.0), 0.0, t_grid)
+        assert approx == pytest.approx([1.0, 0.0], abs=1e-9)
+
+    def test_expected_minimum_of_one_copy_is_mean(self):
+        # For an exponential response time the integral of the survival
+        # function is the mean.
+        survival = lambda t: np.exp(-np.asarray(t))
+        assert expected_minimum_response(survival, 1, t_max=60.0) == pytest.approx(1.0, rel=1e-3)
+
+    def test_expected_minimum_of_two_halves_mean(self):
+        survival = lambda t: np.exp(-np.asarray(t))
+        assert expected_minimum_response(survival, 2, t_max=60.0) == pytest.approx(0.5, rel=1e-3)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            expected_minimum_response(lambda t: t, 0, 1.0)
+        with pytest.raises(CapacityError):
+            two_moment_response_survival(Exponential(1.0), 1.2, np.array([1.0]))
+
+
+class TestHeavyTail:
+    def test_integrated_tail_decreases(self):
+        service = Pareto(alpha=2.1, mean=1.0)
+        values = [pareto_integrated_tail(service, x) for x in (0.1, 1.0, 10.0, 100.0)]
+        assert values == sorted(values, reverse=True)
+        assert values[0] <= 1.0
+
+    def test_wait_survival_scales_with_load(self):
+        service = Pareto(alpha=2.1, mean=1.0)
+        low = heavy_tail_wait_survival(service, 0.2, 10.0)
+        high = heavy_tail_wait_survival(service, 0.6, 10.0)
+        assert high > low
+
+    def test_wait_survival_zero_load(self):
+        assert heavy_tail_wait_survival(Pareto(alpha=2.1, mean=1.0), 0.0, 5.0) == 0.0
+
+    def test_response_survival_at_least_service_tail(self):
+        service = Pareto(alpha=2.1, mean=1.0)
+        t = 5.0
+        service_tail = (service.xm / t) ** service.alpha
+        assert heavy_tail_response_survival(service, 0.3, t) >= service_tail
+
+    def test_theorem3_bound(self):
+        assert heavy_tail_threshold_lower_bound(2.0) == pytest.approx(0.30)
+        assert heavy_tail_threshold_lower_bound(HEAVY_TAIL_ALPHA_LIMIT + 0.5) == pytest.approx(0.25)
+
+    def test_theorem3_invalid_alpha(self):
+        with pytest.raises(ConfigurationError):
+            heavy_tail_threshold_lower_bound(0.9)
+
+    def test_unstable_load_rejected(self):
+        with pytest.raises(CapacityError):
+            heavy_tail_wait_survival(Pareto(alpha=2.1, mean=1.0), 1.0, 1.0)

@@ -1,0 +1,88 @@
+"""Tests for threshold-load computation (the paper's central metric)."""
+
+import pytest
+
+from repro.distributions import Deterministic, Exponential, Pareto, TwoPoint
+from repro.exceptions import ConfigurationError
+from repro.queueing import threshold_load, threshold_load_approximation
+from repro.queueing.client_overhead import overhead_threshold_curve
+from repro.queueing.threshold import (
+    DETERMINISTIC_THRESHOLD_ESTIMATE,
+    THRESHOLD_UPPER_BOUND,
+    replication_benefit_at,
+)
+
+# Smaller simulations keep the test suite fast; tolerances are set accordingly.
+FAST = dict(num_requests=20_000, tolerance=0.02)
+
+
+class TestSimulatedThreshold:
+    def test_exponential_threshold_close_to_one_third(self):
+        threshold = threshold_load(Exponential(1.0), seed=1, **FAST)
+        assert threshold == pytest.approx(1.0 / 3.0, abs=0.05)
+
+    def test_deterministic_threshold_close_to_paper_estimate(self):
+        threshold = threshold_load(Deterministic(1.0), seed=1, **FAST)
+        assert threshold == pytest.approx(DETERMINISTIC_THRESHOLD_ESTIMATE, abs=0.05)
+
+    def test_thresholds_stay_in_paper_band(self):
+        for dist in (Deterministic(1.0), Exponential(1.0), TwoPoint(0.5)):
+            threshold = threshold_load(dist, seed=2, **FAST)
+            assert DETERMINISTIC_THRESHOLD_ESTIMATE - 0.06 <= threshold <= THRESHOLD_UPPER_BOUND
+
+    def test_heavier_tail_has_larger_threshold_than_deterministic(self):
+        det = threshold_load(Deterministic(1.0), seed=3, **FAST)
+        heavy = threshold_load(TwoPoint(0.9), seed=3, **FAST)
+        assert heavy > det
+
+    def test_large_overhead_collapses_threshold(self):
+        threshold = threshold_load(
+            Deterministic(1.0), client_overhead=1.0, seed=1, **FAST
+        )
+        assert threshold == 0.0
+
+    def test_copies_must_be_at_least_two(self):
+        with pytest.raises(ConfigurationError):
+            threshold_load(Exponential(1.0), copies=1)
+
+    def test_invalid_bracket_rejected(self):
+        with pytest.raises(ConfigurationError):
+            threshold_load(Exponential(1.0), low=0.4, high=0.3)
+
+
+class TestBenefit:
+    def test_benefit_positive_at_low_load(self):
+        assert replication_benefit_at(Exponential(1.0), 0.15, num_requests=20_000) > 0
+
+    def test_benefit_negative_at_high_load(self):
+        assert replication_benefit_at(Exponential(1.0), 0.45, num_requests=20_000) < 0
+
+
+class TestApproximateThreshold:
+    def test_exponential_matches_theorem(self):
+        threshold = threshold_load_approximation(Exponential(1.0))
+        assert threshold == pytest.approx(1.0 / 3.0, abs=0.03)
+
+    def test_deterministic_near_paper_estimate(self):
+        threshold = threshold_load_approximation(Deterministic(1.0))
+        assert threshold == pytest.approx(DETERMINISTIC_THRESHOLD_ESTIMATE, abs=0.06)
+
+    def test_overhead_reduces_threshold(self):
+        clean = threshold_load_approximation(Exponential(1.0))
+        overheaded = threshold_load_approximation(Exponential(1.0), client_overhead=0.5)
+        assert overheaded < clean
+
+
+class TestOverheadCurve:
+    def test_curve_is_monotone_nonincreasing(self):
+        curve = overhead_threshold_curve(
+            Exponential(1.0), overhead_fractions=[0.0, 0.3, 1.0],
+            num_requests=15_000, tolerance=0.03, seed=1,
+        )
+        values = [curve[f] for f in (0.0, 0.3, 1.0)]
+        assert values[0] >= values[1] >= values[2]
+        assert values[2] == 0.0
+
+    def test_negative_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            overhead_threshold_curve(Exponential(1.0), overhead_fractions=[-0.1])

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Event, EventState, Simulator
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_clock_can_start_elsewhere(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_and_run_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 1.5
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, 3)
+        sim.schedule(1.0, order.append, 1)
+        sim.schedule(2.0, order.append, 2)
+        sim.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_broken_by_priority_then_sequence(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "late-priority", priority=5)
+        sim.schedule(1.0, order.append, "first-scheduled", priority=0)
+        sim.schedule(1.0, order.append, "second-scheduled", priority=0)
+        sim.run()
+        assert order == ["first-scheduled", "second-scheduled", "late-priority"]
+
+    def test_schedule_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_past_time_rejected(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_events_scheduled_from_callbacks(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(1.0, chain, 0)
+        sim.run()
+        assert seen == [0, 1, 2, 3]
+        assert sim.now == 4.0
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        assert event.cancel() is True
+        sim.run()
+        assert fired == []
+        assert event.state is EventState.CANCELLED
+
+    def test_cancel_after_fire_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert event.cancel() is False
+        assert event.state is EventState.FIRED
+
+    def test_double_cancel_returns_false(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        assert event.cancel() is True
+        assert event.cancel() is False
+
+
+class TestRunControl:
+    def test_run_until_leaves_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(5.0, fired.append, 5)
+        sim.run_until(2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == [1, 5]
+
+    def test_run_until_past_time_rejected(self):
+        sim = Simulator(start_time=3.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(1.0)
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(2.0, sim.stop)
+        sim.schedule(3.0, fired.append, 3)
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_cap(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+        assert sim.pending_events == 6
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    def test_clear_drops_pending_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.clear()
+        sim.run()
+        assert fired == []
+
+    def test_step_on_empty_heap_returns_false(self):
+        assert Simulator().step() is False

@@ -1,0 +1,150 @@
+"""Tests for generator-based processes."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim import Completion, Process, Simulator, Timeout, WaitFor, run_processes
+
+
+class TestTimeout:
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_process_sleeps_for_timeout(self):
+        sim = Simulator()
+        times = []
+
+        def proc():
+            yield Timeout(2.5)
+            times.append(sim.now)
+            yield Timeout(1.5)
+            times.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert times == [2.5, 4.0]
+
+
+class TestCompletion:
+    def test_waitfor_receives_value(self):
+        sim = Simulator()
+        done = Completion(sim)
+        received = []
+
+        def waiter():
+            value = yield WaitFor(done)
+            received.append(value)
+
+        def trigger():
+            yield Timeout(3.0)
+            done.succeed("payload")
+
+        Process(sim, waiter())
+        Process(sim, trigger())
+        sim.run()
+        assert received == ["payload"]
+
+    def test_waiting_on_already_done_completion(self):
+        sim = Simulator()
+        done = Completion(sim)
+        done.succeed(42)
+        results = []
+
+        def waiter():
+            value = yield WaitFor(done)
+            results.append(value)
+
+        Process(sim, waiter())
+        sim.run()
+        assert results == [42]
+
+    def test_double_succeed_rejected(self):
+        sim = Simulator()
+        done = Completion(sim)
+        done.succeed()
+        with pytest.raises(SimulationError):
+            done.succeed()
+
+    def test_multiple_waiters_all_resumed(self):
+        sim = Simulator()
+        done = Completion(sim)
+        resumed = []
+
+        def waiter(name):
+            value = yield WaitFor(done)
+            resumed.append((name, value))
+
+        Process(sim, waiter("a"))
+        Process(sim, waiter("b"))
+
+        def trigger():
+            yield Timeout(1.0)
+            done.succeed("v")
+
+        Process(sim, trigger())
+        sim.run()
+        assert sorted(resumed) == [("a", "v"), ("b", "v")]
+
+
+class TestProcessComposition:
+    def test_process_return_value_stored(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return "result"
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.finished
+        assert p.result == "result"
+
+    def test_waiting_on_another_process(self):
+        sim = Simulator()
+
+        def child():
+            yield Timeout(2.0)
+            return 7
+
+        def parent(child_process):
+            value = yield child_process
+            return value * 2
+
+        child_process = Process(sim, child())
+        parent_process = Process(sim, parent(child_process))
+        sim.run()
+        assert parent_process.result == 14
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a yieldable"
+
+        Process(sim, proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_run_processes_returns_results_in_order(self):
+        sim = Simulator()
+
+        def make(value, delay):
+            def proc():
+                yield Timeout(delay)
+                return value
+
+            return proc()
+
+        results = run_processes(sim, make("a", 3.0), make("b", 1.0))
+        assert results == ("a", "b")
+
+    def test_run_processes_detects_deadlock(self):
+        sim = Simulator()
+        never = Completion(sim)
+
+        def stuck():
+            yield WaitFor(never)
+
+        with pytest.raises(SimulationError):
+            run_processes(sim, stuck())

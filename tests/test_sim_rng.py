@@ -1,0 +1,49 @@
+"""Tests for reproducible random streams."""
+
+from repro.sim import RandomStreams, substream
+
+
+class TestSubstream:
+    def test_same_seed_and_key_reproduce(self):
+        a = substream(7, "arrivals").random(5)
+        b = substream(7, "arrivals").random(5)
+        assert (a == b).all()
+
+    def test_different_keys_are_independent_streams(self):
+        a = substream(7, "arrivals").random(5)
+        b = substream(7, "service").random(5)
+        assert not (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = substream(1, "x").random(5)
+        b = substream(2, "x").random(5)
+        assert not (a == b).all()
+
+    def test_compound_keys(self):
+        a = substream(3, "server", 0).random(3)
+        b = substream(3, "server", 1).random(3)
+        assert not (a == b).all()
+
+
+class TestRandomStreams:
+    def test_get_caches_stream(self):
+        streams = RandomStreams(seed=42)
+        assert streams.get("arrivals") is streams.get("arrivals")
+
+    def test_streams_are_reproducible_across_instances(self):
+        a = RandomStreams(seed=42).get("x").random(4)
+        b = RandomStreams(seed=42).get("x").random(4)
+        assert (a == b).all()
+
+    def test_fork_produces_deterministic_children(self):
+        a = RandomStreams(seed=42).fork("client-1").get("x").random(4)
+        b = RandomStreams(seed=42).fork("client-1").get("x").random(4)
+        c = RandomStreams(seed=42).fork("client-2").get("x").random(4)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(seed=1)
+        streams.get("a")
+        streams.get("b")
+        assert set(streams.names()) == {"a", "b"}
