@@ -1,0 +1,147 @@
+"""Micro-benchmark: streaming metrics vs the old sort-per-query paths.
+
+Before the `repro.metrics` refactor every percentile query re-sorted its full
+sample list (`LatencyTracker.percentile`, the adaptive-hedge window, the
+ad-hoc experiment summaries).  This benchmark demonstrates the two claims the
+refactor makes:
+
+* at 100k ingested samples, percentile queries on the streaming
+  :class:`~repro.metrics.Histogram` are >= 10x faster than sorting the sample
+  list per query (in practice the gap is orders of magnitude);
+* the incremental :class:`~repro.metrics.SlidingWindow` makes the adaptive
+  hedging record-then-query hot loop dramatically cheaper than the old
+  sort-per-request window.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import run_once
+
+from repro.analysis import comparison_table
+from repro.metrics import Histogram, SlidingWindow
+
+SAMPLES = 100_000
+QUERIES = 200
+
+
+def _old_sort_per_query(data, queries):
+    """The pre-refactor path: keep a list, sort it on every percentile query."""
+    samples = data.tolist()
+    total = 0.0
+    for q in queries:
+        start = time.perf_counter()
+        ordered = sorted(samples)
+        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        _ = ordered[index]
+        total += time.perf_counter() - start
+    return total
+
+
+def _streaming_histogram(data, queries):
+    """The new path: a bounded histogram, O(1)-amortised queries."""
+    histogram = Histogram("bench", exact_threshold=1024)
+    histogram.record_many(data)
+    total = 0.0
+    for q in queries:
+        start = time.perf_counter()
+        histogram.percentile(q)
+        total += time.perf_counter() - start
+    return total
+
+
+def test_streaming_queries_at_least_10x_faster_at_100k_samples(benchmark):
+    rng = np.random.default_rng(42)
+    data = rng.lognormal(0.0, 1.0, SAMPLES)
+    queries = [float(q) for q in rng.uniform(1.0, 99.9, QUERIES)]
+
+    def measure():
+        return _old_sort_per_query(data, queries), _streaming_histogram(data, queries)
+
+    old_seconds, new_seconds = run_once(benchmark, measure)
+    speedup = old_seconds / new_seconds
+    table = comparison_table(
+        f"Percentile query cost at {SAMPLES:,} samples ({QUERIES} queries)",
+        "path",
+        ["sort-per-query", "streaming histogram"],
+        {
+            "total (s)": [f"{old_seconds:.4f}", f"{new_seconds:.4f}"],
+            "per query (us)": [
+                f"{old_seconds / QUERIES * 1e6:.1f}",
+                f"{new_seconds / QUERIES * 1e6:.1f}",
+            ],
+        },
+    )
+    print("\n" + table.to_text())
+    print(f"speedup: {speedup:.0f}x")
+    assert speedup >= 10.0
+
+
+def test_adaptive_window_record_query_loop(benchmark):
+    """The hedging hot loop: record one latency, query one percentile, repeat."""
+    rng = np.random.default_rng(7)
+    data = rng.lognormal(0.0, 1.0, 20_000)
+    window_size = 1_000
+
+    def old_loop():
+        samples = []
+        for value in data:
+            samples.append(float(value))
+            if len(samples) > window_size:
+                del samples[: len(samples) - window_size]
+            if len(samples) >= 10:
+                ordered = sorted(samples)
+                _ = ordered[min(len(ordered) - 1, int(len(ordered) * 0.95))]
+
+    def new_loop():
+        window = SlidingWindow(window_size)
+        for value in data:
+            window.record(float(value))
+            if len(window) >= 10:
+                window.percentile(95.0)
+
+    def measure():
+        start = time.perf_counter()
+        old_loop()
+        old_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        new_loop()
+        return old_seconds, time.perf_counter() - start
+
+    old_seconds, new_seconds = run_once(benchmark, measure)
+    speedup = old_seconds / new_seconds
+    print(
+        f"\nadaptive window ({len(data):,} record+query iterations, window {window_size}): "
+        f"sort-per-request {old_seconds:.3f}s vs incremental {new_seconds:.3f}s "
+        f"({speedup:.0f}x)"
+    )
+    assert speedup >= 10.0
+
+
+def test_streaming_memory_stays_bounded(benchmark):
+    """A million-sample stream fits in a few hundred bins, summaries intact."""
+
+    def run():
+        rng = np.random.default_rng(3)
+        histogram = Histogram("bounded", exact_threshold=1024)
+        exact = []
+        for _ in range(10):
+            chunk = rng.lognormal(0.0, 1.0, 100_000)
+            histogram.record_many(chunk)
+            exact.append(chunk)
+        return histogram, np.concatenate(exact)
+
+    histogram, data = run_once(benchmark, run)
+    assert histogram.count == 1_000_000
+    assert histogram.occupied_bins < 2_000
+    tolerance = 1.25 * histogram.relative_error_bound()
+    for q in (50.0, 99.0, 99.9):
+        assert histogram.percentile(q) == pytest.approx(
+            float(np.percentile(data, q)), rel=tolerance
+        )
+    print(
+        f"\n1M samples in {histogram.occupied_bins} bins; "
+        f"p99 {histogram.percentile(99.0):.4f} vs exact {np.percentile(data, 99.0):.4f}"
+    )

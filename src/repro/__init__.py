@@ -33,11 +33,24 @@ evaluation depends on:
     The Section 3 substrates: TCP handshake completion model and wide-area DNS
     replication experiments.
 
+``repro.metrics``
+    The unified streaming metrics layer every substrate records through:
+    counters, bounded-memory percentile histograms, sliding windows,
+    reservoirs and the :class:`~repro.metrics.LatencyRecorder` facade.
+
 ``repro.analysis``
     Latency statistics, CDFs and result tables.
 """
 
 from repro._version import __version__
+from repro.metrics import (
+    Counter,
+    Histogram,
+    LatencyRecorder,
+    MetricsRegistry,
+    Reservoir,
+    SlidingWindow,
+)
 from repro.core.policy import (
     HedgeAfterDelay,
     KCopies,
@@ -50,6 +63,12 @@ from repro.core.costbenefit import CostBenefitAnalysis, DEFAULT_BREAK_EVEN_MS_PE
 
 __all__ = [
     "__version__",
+    "Counter",
+    "Histogram",
+    "SlidingWindow",
+    "Reservoir",
+    "LatencyRecorder",
+    "MetricsRegistry",
     "ReplicationPolicy",
     "NoReplication",
     "KCopies",

@@ -48,6 +48,35 @@ class LatencySummary:
     p99: float
     p999: float
 
+    @classmethod
+    def from_histogram(cls, histogram) -> "LatencySummary":
+        """Build a summary from a :class:`repro.metrics.Histogram`.
+
+        Count, mean, std, min and max are exact (the histogram tracks them as
+        running moments); the percentiles are exact while the histogram is in
+        exact mode and bin-resolution estimates once it has spilled to bins.
+        This is what makes streaming and exact summaries interchangeable in
+        :class:`~repro.analysis.tables.ResultTable` and the benchmarks.
+
+        Raises:
+            ConfigurationError: If the histogram is empty.
+        """
+        if histogram.count == 0:
+            raise ConfigurationError("cannot summarise an empty histogram")
+        p50, p90, p95, p99, p999 = histogram.percentiles(STANDARD_PERCENTILES)
+        return cls(
+            count=int(histogram.count),
+            mean=float(histogram.mean()),
+            std=float(histogram.std()),
+            minimum=float(histogram.min()),
+            maximum=float(histogram.max()),
+            p50=float(p50),
+            p90=float(p90),
+            p95=float(p95),
+            p99=float(p99),
+            p999=float(p999),
+        )
+
     def percentile(self, q: float) -> float:
         """Return one of the precomputed percentiles by its ``q`` value.
 

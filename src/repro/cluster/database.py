@@ -20,8 +20,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.stats import LatencySummary, summarize
+from repro.analysis.stats import LatencySummary
 from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.metrics import MetricsRegistry
 from repro.cluster.disk import DiskModel
 from repro.cluster.storage_server import StorageServerModel
 from repro.distributions.base import Distribution
@@ -188,6 +189,9 @@ class DatabaseRunResult:
         response_times: Per-request response times in seconds (warmup removed).
         summary: Latency summary of ``response_times``.
         cache_hit_ratio: Aggregate cache hit ratio observed across servers.
+        metrics: Snapshot of the run's metrics registry (``requests``,
+            ``cache_hits``, ``cache_misses`` counters and the ``latency``
+            summary row).
     """
 
     load: float
@@ -195,6 +199,7 @@ class DatabaseRunResult:
     response_times: np.ndarray
     summary: LatencySummary
     cache_hit_ratio: float
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def mean(self) -> float:
@@ -350,13 +355,22 @@ class DatabaseClusterExperiment:
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
         hits = sum(s.cache.hits for s in servers)
-        accesses = hits + sum(s.cache.misses for s in servers)
+        misses = sum(s.cache.misses for s in servers)
+        registry = MetricsRegistry("database")
+        registry.counter("requests").increment(num_requests)
+        registry.counter("copies_launched").increment(num_requests * k)
+        registry.counter("cache_hits").increment(hits)
+        registry.counter("cache_misses").increment(misses)
+        recorder = registry.recorder("latency")
+        recorder.record_many(retained)
+        accesses = hits + misses
         return DatabaseRunResult(
             load=float(load),
             copies=k,
             response_times=retained,
-            summary=summarize(retained),
+            summary=recorder.summary(),
             cache_hit_ratio=hits / accesses if accesses else 0.0,
+            metrics=registry.snapshot(),
         )
 
     def sweep(

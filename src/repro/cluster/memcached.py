@@ -22,8 +22,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import LatencySummary, summarize
+from repro.analysis.stats import LatencySummary
 from repro.exceptions import CapacityError, ConfigurationError
+from repro.metrics import MetricsRegistry
 from repro.sim.rng import substream
 
 
@@ -108,6 +109,8 @@ class MemcachedRunResult:
             no-ops, isolating client-side latency).
         response_times: Per-request response times in seconds.
         summary: Latency summary of ``response_times``.
+        metrics: Snapshot of the run's metrics registry (``requests`` and
+            ``copies_launched`` counters and the ``latency`` summary row).
     """
 
     load: float
@@ -115,6 +118,7 @@ class MemcachedRunResult:
     stub: bool
     response_times: np.ndarray
     summary: LatencySummary
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def mean(self) -> float:
@@ -209,12 +213,18 @@ class MemcachedExperiment:
 
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
+        registry = MetricsRegistry("memcached")
+        registry.counter("requests").increment(num_requests)
+        registry.counter("copies_launched").increment(num_requests * k)
+        recorder = registry.recorder("latency")
+        recorder.record_many(retained)
         return MemcachedRunResult(
             load=float(load),
             copies=k,
             stub=stub,
             response_times=retained,
-            summary=summarize(retained),
+            summary=recorder.summary(),
+            metrics=registry.snapshot(),
         )
 
     def _choose_servers(

@@ -21,6 +21,7 @@ from typing import Awaitable, Callable, Generic, List, Optional, Sequence, TypeV
 from repro.core.policy import KCopies, ReplicationPolicy
 from repro.core.selection import SelectionStrategy, UniformRandom
 from repro.exceptions import ConfigurationError
+from repro.metrics import MetricsRegistry, SlidingWindow
 
 T = TypeVar("T")
 
@@ -34,12 +35,20 @@ class HedgedResult(Generic[T]):
     Attributes:
         value: The value returned by the winning copy.
         winner: Index (into the launched copies) of the copy that won.
-        copies_launched: How many copies were actually started (a hedge whose
-            delay never expired is not counted).
+        copies_launched: How many backend calls were actually started.  A
+            hedge whose task was cancelled while still waiting out its delay —
+            even if, by the time the winner was timed, that delay had
+            numerically expired — is not counted: only copies that reached
+            their backend call are.  With ``cancel_losers=False`` the count is
+            taken when the winner completes, so a straggler hedge that fires
+            its backend call later is not included.
         elapsed: Wall-clock seconds from the first launch to the winning
             completion.
         errors: Exceptions raised by copies that failed before the winner
             completed (empty when everything succeeded).
+        copies_cancelled: How many started copies were cancelled after their
+            backend call began (the cost Google's "cancel outstanding
+            requests" machinery pays).
     """
 
     value: T
@@ -47,6 +56,7 @@ class HedgedResult(Generic[T]):
     copies_launched: int
     elapsed: float
     errors: List[BaseException]
+    copies_cancelled: int = 0
 
 
 async def first_completed(
@@ -131,12 +141,17 @@ async def hedged_call(
     start = time.perf_counter()
     errors: List[BaseException] = []
     launched: List[asyncio.Task] = []
+    started: List[int] = []
     winner_index: Optional[int] = None
     winner_value: Optional[T] = None
 
     async def launch(index: int, delay: float) -> tuple[int, T]:
         if delay > 0:
             await asyncio.sleep(delay)
+        # Only copies that get past their hedge delay reach the backend; the
+        # append is what copies_launched counts, so a task cancelled during
+        # its sleep is never mistaken for a launched copy.
+        started.append(index)
         value = await factories[index]()
         return index, value
 
@@ -165,14 +180,18 @@ async def hedged_call(
             await asyncio.gather(*launched, return_exceptions=True)
 
     elapsed = time.perf_counter() - start
-    copies_launched = sum(1 for i, d in enumerate(delays) if d <= elapsed or i == winner_index)
+    started_set = set(started)
+    copies_cancelled = sum(
+        1 for i, task in enumerate(launched) if task.cancelled() and i in started_set
+    )
     policy.record_latency(elapsed)
     return HedgedResult(
         value=winner_value,  # type: ignore[arg-type]
         winner=winner_index,
-        copies_launched=copies_launched,
+        copies_launched=len(started_set),
         elapsed=elapsed,
         errors=errors,
+        copies_cancelled=copies_cancelled,
     )
 
 
@@ -180,7 +199,10 @@ class LatencyTracker:
     """A bounded window of observed latencies with percentile queries.
 
     Used by adaptive hedging and by the advisor to summarise what a backend's
-    latency distribution currently looks like.
+    latency distribution currently looks like.  A thin wrapper over
+    :class:`repro.metrics.SlidingWindow`: the sorted view is maintained
+    incrementally, so percentile queries are O(1) instead of re-sorting the
+    window per call.
     """
 
     def __init__(self, window: int = 10_000) -> None:
@@ -188,39 +210,39 @@ class LatencyTracker:
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window!r}")
         self.window = int(window)
-        self._samples: List[float] = []
+        self._window = SlidingWindow(self.window)
 
     def record(self, latency: float) -> None:
         """Add one latency observation (seconds, >= 0)."""
         if latency < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
-        self._samples.append(float(latency))
-        if len(self._samples) > self.window:
-            del self._samples[: len(self._samples) - self.window]
+        self._window.record(float(latency))
 
     def __len__(self) -> int:
-        return len(self._samples)
+        return len(self._window)
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0-100) of the recorded latencies.
+
+        Uses :func:`numpy.percentile`'s linear interpolation between order
+        statistics (the same convention as every ``LatencySummary`` in this
+        repository), not the nearest-rank selection of the pre-metrics
+        implementation — at small window sizes the two can differ by up to
+        one inter-sample gap.
 
         Raises:
             ConfigurationError: If no latencies have been recorded or ``q`` is
                 out of range.
         """
-        if not self._samples:
+        if not len(self._window):
             raise ConfigurationError("no latencies recorded yet")
-        if not 0.0 <= q <= 100.0:
-            raise ConfigurationError(f"q must be in [0, 100], got {q!r}")
-        ordered = sorted(self._samples)
-        index = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
-        return ordered[index]
+        return self._window.percentile(q)
 
     def mean(self) -> float:
         """Mean of the recorded latencies."""
-        if not self._samples:
+        if not len(self._window):
             raise ConfigurationError("no latencies recorded yet")
-        return sum(self._samples) / len(self._samples)
+        return self._window.mean()
 
 
 class RedundantClient(Generic[T]):
@@ -247,6 +269,7 @@ class RedundantClient(Generic[T]):
         policy: Optional[ReplicationPolicy] = None,
         selection: Optional[SelectionStrategy] = None,
         seed: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """Create a client over ``backends``.
 
@@ -257,6 +280,10 @@ class RedundantClient(Generic[T]):
             selection: Backend selection strategy (default: uniform random
                 distinct backends, the Section 2.1 model).
             seed: Seed for the selection strategy's randomness.
+            metrics: Registry the client records into (``requests``,
+                ``failed_requests``, ``copies_launched``, ``copies_cancelled``,
+                ``errors`` counters and a streaming ``latency`` histogram); a
+                private registry is created when omitted.
         """
         if not backends:
             raise ConfigurationError("RedundantClient needs at least one backend")
@@ -265,6 +292,15 @@ class RedundantClient(Generic[T]):
             policy = KCopies(min(2, len(self.backends)))
         self.policy = policy
         self.selection = selection or UniformRandom(seed=seed)
+        self.metrics = metrics if metrics is not None else MetricsRegistry("redundant_client")
+        # Cached: request() touches these per call; keep the hot path at a
+        # bare increment instead of a registry lookup each time.
+        self._requests = self.metrics.counter("requests")
+        self._failed_requests = self.metrics.counter("failed_requests")
+        self._copies_launched = self.metrics.counter("copies_launched")
+        self._copies_cancelled = self.metrics.counter("copies_cancelled")
+        self._errors = self.metrics.counter("errors")
+        self._latency = self.metrics.histogram("latency")
         self.tracker = LatencyTracker()
 
     async def request(self, *args, key: Optional[object] = None, **kwargs) -> HedgedResult[T]:
@@ -294,8 +330,19 @@ class RedundantClient(Generic[T]):
         effective_policy: ReplicationPolicy = (
             self.policy if copies == len(delays) else _FixedDelays(delays[:copies], self.policy)
         )
-        result = await hedged_call(factories, policy=effective_policy)
+        self._requests.increment()
+        try:
+            result = await hedged_call(factories, policy=effective_policy)
+        except BaseException:
+            # Fully-failed requests still show up in the registry; without
+            # this an operator would read a failing client as idle.
+            self._failed_requests.increment()
+            raise
         self.tracker.record(result.elapsed)
+        self._copies_launched.increment(result.copies_launched)
+        self._copies_cancelled.increment(result.copies_cancelled)
+        self._errors.increment(len(result.errors))
+        self._latency.record(result.elapsed)
         return result
 
 

@@ -16,9 +16,10 @@ deferred hedging) a one-line change.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import List
 
 from repro.exceptions import ConfigurationError
+from repro.metrics import SlidingWindow
 
 
 class ReplicationPolicy(abc.ABC):
@@ -136,23 +137,33 @@ class HedgeOnPercentile(ReplicationPolicy):
         self.initial_delay = float(initial_delay)
         self.window = int(window)
         self.extra_copies = int(extra_copies)
-        self._latencies: List[float] = []
+        # Incrementally sorted window: percentile queries on the hot path
+        # (one per request issued) are O(1) instead of an O(n log n) re-sort.
+        self._window = SlidingWindow(self.window)
+
+    @property
+    def _latencies(self) -> List[float]:
+        """The retained window in arrival order (kept for introspection)."""
+        return self._window.values()
 
     def record_latency(self, latency: float) -> None:
         """Add an observed latency (seconds) to the sliding window."""
         if latency < 0:
             raise ConfigurationError(f"latency must be >= 0, got {latency!r}")
-        self._latencies.append(float(latency))
-        if len(self._latencies) > self.window:
-            del self._latencies[: len(self._latencies) - self.window]
+        self._window.record(float(latency))
 
     def current_delay(self) -> float:
-        """The hedge delay that would be used for the next request."""
-        if len(self._latencies) < 10:
+        """The hedge delay that would be used for the next request.
+
+        The percentile uses linear interpolation between order statistics
+        (numpy's convention, shared by every summary in this repository); the
+        pre-metrics implementation selected the nearest sample at or above
+        the rank, so small windows can yield slightly smaller delays than
+        before.
+        """
+        if len(self._window) < 10:
             return self.initial_delay
-        ordered = sorted(self._latencies)
-        index = min(len(ordered) - 1, int(len(ordered) * self.percentile / 100.0))
-        return ordered[index]
+        return self._window.percentile(self.percentile)
 
     def launch_delays(self) -> List[float]:
         """``[0, d, 2d, ...]`` where ``d`` is the current percentile delay."""

@@ -1,0 +1,31 @@
+"""The one percentile-of-sorted-data formula shared by every metric.
+
+Linear interpolation between order statistics — :func:`numpy.percentile`'s
+default convention — implemented once so the exact-mode histogram, the
+sliding window and every summary in the repository cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def sorted_percentile(ordered: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of an ascending-sorted sequence.
+
+    Raises:
+        ConfigurationError: If ``ordered`` is empty or ``q`` is out of range.
+    """
+    size = len(ordered)
+    if size == 0:
+        raise ConfigurationError("no samples recorded yet")
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError(f"q must be in [0, 100], got {q!r}")
+    rank = q / 100.0 * (size - 1)
+    low = int(math.floor(rank))
+    high = min(low + 1, size - 1)
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)

@@ -1,0 +1,113 @@
+"""Bounded uniform sampling of an unbounded stream.
+
+A :class:`Reservoir` keeps a fixed-size uniform random sample of everything
+recorded into it (Vitter's Algorithm R), so a million-sample run can still
+produce a CDF plot or feed :func:`repro.analysis.stats.summarize` from a few
+thousand retained points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+class Reservoir:
+    """A bounded, uniformly random sample of a stream.
+
+    Example:
+        >>> r = Reservoir("latency", capacity=100, seed=0)
+        >>> for v in range(1000):
+        ...     r.record(float(v))
+        >>> r.seen, len(r.values())
+        (1000, 100)
+    """
+
+    def __init__(self, name: str = "reservoir", capacity: int = 4096, seed: Optional[int] = 0) -> None:
+        """Create an empty reservoir.
+
+        Args:
+            name: Metric name.
+            capacity: Maximum number of samples retained (>= 1).
+            seed: Seed for the replacement RNG (``None`` = fresh entropy; the
+                deterministic default keeps experiment runs reproducible).
+        """
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity!r}")
+        self.name = str(name)
+        self.capacity = int(capacity)
+        self._rng = np.random.default_rng(seed)
+        self._samples = np.empty(self.capacity, dtype=float)
+        self._size = 0
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Total number of samples offered to the reservoir."""
+        return self._seen
+
+    def __len__(self) -> int:
+        return self._size
+
+    def record(self, value: float) -> None:
+        """Offer one sample; it is retained with probability ``capacity/seen``.
+
+        Raises:
+            ConfigurationError: If ``value`` is negative or not finite (the
+                same contract as every other metric in this package, so bad
+                samples fail at the record site rather than poisoning a later
+                summary).
+        """
+        value = float(value)
+        if not math.isfinite(value) or value < 0.0:
+            raise ConfigurationError(f"samples must be finite and >= 0, got {value!r}")
+        self._seen += 1
+        if self._size < self.capacity:
+            self._samples[self._size] = value
+            self._size += 1
+            return
+        slot = int(self._rng.integers(0, self._seen))
+        if slot < self.capacity:
+            self._samples[slot] = value
+
+    def record_many(self, values) -> None:
+        """Offer a batch of samples (vectorised; equivalent to repeated record)."""
+        data = np.asarray(values, dtype=float).ravel()
+        if data.size == 0:
+            return
+        if not np.all(np.isfinite(data)) or np.any(data < 0):
+            raise ConfigurationError("samples must be finite and >= 0")
+        # Fill phase: the reservoir keeps everything until it is full.
+        take = min(self.capacity - self._size, int(data.size))
+        if take:
+            self._samples[self._size : self._size + take] = data[:take]
+            self._size += take
+            self._seen += take
+            data = data[take:]
+        if data.size == 0:
+            return
+        # Replacement phase, vectorised: element i is the (seen + i + 1)-th
+        # sample overall and lands in a uniform slot of that many; only the
+        # (rare) accepted replacements are applied in order.
+        counts = self._seen + 1 + np.arange(data.size)
+        slots = np.floor(self._rng.random(data.size) * counts).astype(np.int64)
+        self._seen += int(data.size)
+        accepted = slots < self.capacity
+        for slot, value in zip(slots[accepted].tolist(), data[accepted].tolist()):
+            self._samples[slot] = value
+
+    def values(self) -> np.ndarray:
+        """A copy of the retained sample (unordered)."""
+        return self._samples[: self._size].copy()
+
+    def reset(self) -> None:
+        """Forget everything (the RNG state is kept)."""
+        self._size = 0
+        self._seen = 0
+
+    def __repr__(self) -> str:
+        return f"Reservoir({self.name!r}, size={self._size}/{self.capacity}, seen={self._seen})"

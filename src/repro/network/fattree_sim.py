@@ -15,9 +15,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import summarize
+from repro.analysis.stats import LatencySummary
 from repro.distributions.datacenter import DataCenterFlowSizes
 from repro.exceptions import ConfigurationError, RoutingError, SimulationError
+from repro.metrics import LatencyRecorder, MetricsRegistry
 from repro.network.flows import FlowSpec, generate_flows
 from repro.network.link import Link
 from repro.network.packet import PRIORITY_NORMAL, Packet
@@ -133,6 +134,25 @@ class FatTreeRunResult:
         """Completion times of flows of 1 MB or more."""
         return self.fcts(min_size=1_000_000.0)
 
+    def short_flow_recorder(self) -> LatencyRecorder:
+        """A recorder over short-flow completion times.
+
+        Raises:
+            SimulationError: If no short flows completed.
+        """
+        fcts = self.short_flow_fcts()
+        if fcts.size == 0:
+            raise SimulationError("run produced no completed short flows")
+        return LatencyRecorder.from_samples(fcts, name="short_flow_fct")
+
+    def short_flow_summary(self) -> LatencySummary:
+        """Latency summary of short-flow completion times.
+
+        Raises:
+            SimulationError: If no short flows completed.
+        """
+        return self.short_flow_recorder().summary()
+
 
 class _PacketNetwork:
     """Owns the links and moves packets along their paths."""
@@ -158,8 +178,21 @@ class _PacketNetwork:
                     deliver=self._on_link_arrival,
                 )
         self.flows: Dict[int, TcpFlow] = {}
-        self.dropped_packets = 0
-        self.dropped_replicas = 0
+        self.metrics = MetricsRegistry("fattree")
+        # Cached: _count_drop runs per dropped packet, so the per-event cost
+        # must stay a bare attribute increment.
+        self._dropped_packets = self.metrics.counter("dropped_packets")
+        self._dropped_replicas = self.metrics.counter("dropped_replicas")
+
+    @property
+    def dropped_packets(self) -> int:
+        """Primary data packets dropped at a full buffer."""
+        return self._dropped_packets.value
+
+    @property
+    def dropped_replicas(self) -> int:
+        """Replica packets dropped at a full buffer."""
+        return self._dropped_replicas.value
 
     def links_for_path(self, path: List[str]) -> List[Link]:
         """The directed :class:`Link` objects along a node-name path."""
@@ -189,10 +222,8 @@ class _PacketNetwork:
         flow.on_data_arrival(packet)
 
     def _count_drop(self, packet: Packet) -> None:
-        if packet.is_replica:
-            self.dropped_replicas += 1
-        else:
-            self.dropped_packets += 1
+        counter = self._dropped_replicas if packet.is_replica else self._dropped_packets
+        counter.increment()
 
 
 class FatTreeExperiment:
@@ -356,8 +387,9 @@ class FatTreeExperiment:
 
     @staticmethod
     def percentile_fct(result: FatTreeRunResult, percentile: float) -> float:
-        """A percentile of the short-flow FCT distribution, in seconds."""
-        fcts = result.short_flow_fcts()
-        if fcts.size == 0:
-            raise SimulationError("run produced no completed short flows")
-        return float(np.percentile(fcts, percentile))
+        """A percentile of the short-flow FCT distribution, in seconds.
+
+        Raises:
+            SimulationError: If no short flows completed.
+        """
+        return result.short_flow_recorder().percentile(percentile)

@@ -30,9 +30,10 @@ from typing import Optional
 
 import numpy as np
 
-from repro.analysis.stats import LatencySummary, summarize
+from repro.analysis.stats import LatencySummary
 from repro.distributions.base import Distribution
 from repro.exceptions import CapacityError, ConfigurationError
+from repro.metrics import LatencyRecorder
 from repro.sim.engine import Simulator
 from repro.sim.resources import Server
 from repro.sim.rng import substream
@@ -56,7 +57,8 @@ class QueueingResults:
 
     def __post_init__(self) -> None:
         if self.summary is None:
-            object.__setattr__(self, "summary", summarize(self.response_times))
+            recorder = LatencyRecorder.from_samples(self.response_times, name="queueing")
+            object.__setattr__(self, "summary", recorder.summary())
 
     @property
     def mean(self) -> float:

@@ -34,6 +34,10 @@ class Simulator:
         (1.5, ['hello'])
     """
 
+    #: Cancelled events are purged from the heap once they are this many and
+    #: outnumber the live events (amortised O(1) per cancellation).
+    _PURGE_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         """Create a simulator whose clock starts at ``start_time`` seconds."""
         self._now = float(start_time)
@@ -42,6 +46,7 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._events_processed = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -55,8 +60,40 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events currently in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events waiting to fire.
+
+        Maintained as a live counter: cancelling an event decrements it
+        immediately even though the cancelled entry stays in the heap until it
+        is popped or lazily purged, so long-running simulations can introspect
+        their backlog accurately.
+        """
+        return max(0, len(self._heap) - self._cancelled_in_heap)
+
+    def _note_cancellation(self, _event: Event) -> None:
+        """Event-cancellation hook keeping the live pending count accurate.
+
+        Only events currently in the heap carry this hook: :meth:`clear` and
+        :meth:`_purge_cancelled` detach it from evicted events, so a stale
+        handle cancelled later cannot skew the count.
+        """
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self._PURGE_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._purge_cancelled()
+
+    def _purge_cancelled(self) -> None:
+        """Drop cancelled entries from the heap and restore the heap invariant."""
+        kept = []
+        for event in self._heap:
+            if event.state is EventState.CANCELLED:
+                event.on_cancel = None
+            else:
+                kept.append(event)
+        self._heap = kept
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def schedule(
         self,
@@ -107,6 +144,7 @@ class Simulator:
             sequence=self._sequence,
             callback=callback,
             args=args,
+            on_cancel=self._note_cancellation,
         )
         heapq.heappush(self._heap, event)
         return event
@@ -121,6 +159,7 @@ class Simulator:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.state is EventState.CANCELLED:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = event.time
             event._fire()
@@ -186,6 +225,7 @@ class Simulator:
                 head = self._heap[0]
                 if head.state is EventState.CANCELLED:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if head.time > until:
                     break
@@ -207,4 +247,7 @@ class Simulator:
 
     def clear(self) -> None:
         """Drop all pending events without firing them.  The clock is kept."""
+        for event in self._heap:
+            event.on_cancel = None
         self._heap.clear()
+        self._cancelled_in_heap = 0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 
 class EventState(enum.Enum):
@@ -52,6 +52,9 @@ class Event:
     callback: Callable[..., Any] = field(compare=False, default=lambda: None)
     args: tuple = field(compare=False, default=())
     state: EventState = field(compare=False, default=EventState.PENDING)
+    #: Set by the scheduler so it can keep an accurate live count of pending
+    #: (non-cancelled) events; not part of the ordering key.
+    on_cancel: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
 
     def cancel(self) -> bool:
         """Cancel the event if it has not fired yet.
@@ -59,10 +62,13 @@ class Event:
         Returns:
             ``True`` if the event was pending and is now cancelled, ``False``
             if it had already fired or was already cancelled.  Cancelling is
-            O(1): the event is left in the heap and skipped when popped.
+            O(1): the event is left in the heap and skipped when popped (the
+            owning scheduler is notified so its pending count stays accurate).
         """
         if self.state is EventState.PENDING:
             self.state = EventState.CANCELLED
+            if self.on_cancel is not None:
+                self.on_cancel(self)
             return True
         return False
 

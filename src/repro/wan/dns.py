@@ -31,9 +31,10 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.stats import summarize
+from repro.analysis.stats import LatencySummary
 from repro.core.costbenefit import CostBenefitAnalysis, marginal_cost_benefit
 from repro.exceptions import ConfigurationError
+from repro.metrics import LatencyRecorder
 from repro.sim.rng import substream
 
 
@@ -160,11 +161,21 @@ class DnsResults:
     samples_by_copies: Dict[int, np.ndarray]
     best_single_samples: np.ndarray
     reduction_percent: Dict[str, Dict[int, float]]
+    _recorders: Dict[int, LatencyRecorder] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _recorder(self, copies: int) -> LatencyRecorder:
+        """The (cached) recorder over the pooled samples for ``copies`` servers."""
+        recorder = self._recorders.get(copies)
+        if recorder is None:
+            recorder = LatencyRecorder.from_samples(self.samples_by_copies[copies], name="dns")
+            self._recorders[copies] = recorder
+        return recorder
 
     def fraction_later_than(self, threshold_s: float, copies: int) -> float:
         """Fraction of queries slower than ``threshold_s`` with ``copies`` servers."""
-        samples = self.samples_by_copies[copies]
-        return float(np.mean(samples > threshold_s))
+        return self._recorder(copies).fraction_later_than(threshold_s)
 
     def tail_improvement(self, threshold_s: float, copies: int) -> float:
         """How many times rarer late responses become with ``copies`` servers."""
@@ -174,17 +185,22 @@ class DnsResults:
             return float("inf")
         return base / replicated
 
+    def summary(self, copies: int) -> LatencySummary:
+        """Pooled latency summary for querying ``copies`` servers in parallel.
+
+        Cached by the underlying recorder, so repeated queries sort the
+        pooled samples once.
+        """
+        return self._recorder(copies).summary()
+
     def mean_latency_ms_by_copies(self) -> List[float]:
         """Mean response time (ms) for each copy count 1..num_servers."""
-        return [
-            float(self.samples_by_copies[k].mean() * 1000.0)
-            for k in sorted(self.samples_by_copies)
-        ]
+        return [self._recorder(k).mean() * 1000.0 for k in sorted(self.samples_by_copies)]
 
     def percentile_latency_ms_by_copies(self, percentile: float) -> List[float]:
         """A percentile of response time (ms) for each copy count."""
         return [
-            float(np.percentile(self.samples_by_copies[k], percentile) * 1000.0)
+            self._recorder(k).percentile(percentile) * 1000.0
             for k in sorted(self.samples_by_copies)
         ]
 
@@ -302,25 +318,19 @@ class DnsExperiment:
             metric: {k: [] for k in copies_list} for metric in ("mean", "median", "p95", "p99")
         }
 
+        def vantage_stats(samples: np.ndarray) -> Dict[str, float]:
+            s = LatencyRecorder.from_samples(samples, name="dns-vantage").summary()
+            return {"mean": s.mean, "median": s.p50, "p95": s.p95, "p99": s.p99}
+
         for vantage in self.vantage_points:
             ranking = self.rank_servers(vantage)
             baseline = self._stage2_samples(vantage, ranking, 1)
             best_single.append(baseline)
-            baseline_stats = {
-                "mean": float(baseline.mean()),
-                "median": float(np.percentile(baseline, 50)),
-                "p95": float(np.percentile(baseline, 95)),
-                "p99": float(np.percentile(baseline, 99)),
-            }
+            baseline_stats = vantage_stats(baseline)
             for k in copies_list:
                 samples = baseline if k == 1 else self._stage2_samples(vantage, ranking, k)
                 pooled[k].append(samples)
-                stats = {
-                    "mean": float(samples.mean()),
-                    "median": float(np.percentile(samples, 50)),
-                    "p95": float(np.percentile(samples, 95)),
-                    "p99": float(np.percentile(samples, 99)),
-                }
+                stats = vantage_stats(samples)
                 for metric, base_value in baseline_stats.items():
                     if base_value > 0:
                         reductions[metric][k].append(

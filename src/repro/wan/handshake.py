@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.costbenefit import CostBenefitAnalysis, DEFAULT_BREAK_EVEN_MS_PER_KB
 from repro.exceptions import ConfigurationError
+from repro.metrics import LatencyRecorder
 from repro.wan.loss import PAIR_LOSS_PROBABILITY, SINGLE_LOSS_PROBABILITY
 
 
@@ -182,11 +183,12 @@ class HandshakeModel:
     def result(self, copies: int, num_samples: int = 200_000, seed: int = 0) -> HandshakeResult:
         """Monte-Carlo summary for one copy count."""
         samples = self.sample_completion_times(copies, num_samples, np.random.default_rng(seed))
+        summary = LatencyRecorder.from_samples(samples, name="handshake").summary()
         return HandshakeResult(
             copies=copies,
-            mean=float(samples.mean()),
-            p99=float(np.percentile(samples, 99.0)),
-            p999=float(np.percentile(samples, 99.9)),
+            mean=summary.mean,
+            p99=summary.p99,
+            p999=summary.p999,
             loss_probability=self.loss_probability(copies),
         )
 

@@ -129,6 +129,61 @@ class TestHedgedCall:
         result = run(hedged_call([lambda: backend("a", 0.0), lambda: backend("b", 0.01)]))
         assert result.value == "a"
 
+    def test_copies_launched_counts_actual_backend_calls(self, monkeypatch):
+        """A hedge cancelled during its delay is not a launched copy.
+
+        The old accounting counted any hedge whose ``delay <= elapsed``, so a
+        slow event loop (here simulated by a clock that jumps past the hedge
+        delay) inflated ``copies_launched`` even though the backup's backend
+        call never started.
+        """
+
+        class JumpyClock:
+            """perf_counter that leaps far beyond the hedge delay."""
+
+            def __init__(self):
+                self.calls = 0
+
+            def perf_counter(self):
+                self.calls += 1
+                return 0.0 if self.calls == 1 else 100.0
+
+        import repro.core.hedging as hedging_module
+
+        monkeypatch.setattr(hedging_module, "time", JumpyClock())
+        invoked = []
+
+        def factory(name):
+            async def call():
+                invoked.append(name)
+                return name
+
+            return call
+
+        result = run(
+            hedged_call(
+                [factory("primary"), factory("backup")],
+                policy=HedgeAfterDelay(delay=0.2),
+            )
+        )
+        assert result.value == "primary"
+        assert invoked == ["primary"]
+        assert result.copies_launched == 1
+        assert result.elapsed == pytest.approx(100.0)
+
+    def test_copies_cancelled_counts_started_losers(self):
+        async def fast():
+            return "fast"
+
+        async def slow():
+            await asyncio.sleep(5.0)
+            return "slow"
+
+        result = run(hedged_call([lambda: slow(), lambda: fast()], policy=KCopies(2)))
+        assert result.value == "fast"
+        assert result.copies_launched == 2
+        assert result.copies_cancelled == 1
+
 
 class TestLatencyTracker:
     def test_percentile_and_mean(self):
@@ -145,6 +200,16 @@ class TestLatencyTracker:
             tracker.record(value)
         assert len(tracker) == 3
         assert tracker.percentile(0) == pytest.approx(2.0)
+
+    def test_percentile_matches_numpy_interpolation(self):
+        import numpy as np
+
+        tracker = LatencyTracker()
+        values = [float(i + 1) for i in range(20)]
+        for value in values:
+            tracker.record(value)
+        for q in (25, 50, 95):
+            assert tracker.percentile(q) == pytest.approx(float(np.percentile(values, q)))
 
     def test_empty_tracker_errors(self):
         with pytest.raises(ConfigurationError):
@@ -192,3 +257,17 @@ class TestRedundantClient:
     def test_needs_at_least_one_backend(self):
         with pytest.raises(ConfigurationError):
             RedundantClient([])
+
+    def test_metrics_registry_records_requests_and_copies(self):
+        async def quick(key):
+            return key
+
+        client = RedundantClient([quick, quick])
+        run(client.request(key="x"))
+        run(client.request(key="y"))
+        assert client.metrics.counter("requests").value == 2
+        assert client.metrics.counter("copies_launched").value >= 2
+        assert client.metrics.histogram("latency").count == 2
+        snapshot = client.metrics.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["latency"]["count"] == 2

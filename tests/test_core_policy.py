@@ -65,6 +65,19 @@ class TestHedgeOnPercentile:
             policy.record_latency(1.0)
         assert len(policy._latencies) == 50
 
+    def test_percentile_uses_numpy_interpolation(self):
+        import numpy as np
+
+        policy = HedgeOnPercentile(percentile=95.0, window=100)
+        values = [float(i + 1) for i in range(20)]
+        for value in values:
+            policy.record_latency(value)
+        # Linear interpolation between order statistics, matching
+        # numpy.percentile (the pre-metrics code selected the nearest sample
+        # at or above the rank, i.e. 20.0 here).
+        assert policy.current_delay() == pytest.approx(float(np.percentile(values, 95.0)))
+        assert policy.current_delay() == pytest.approx(19.05)
+
     def test_invalid_parameters(self):
         with pytest.raises(ConfigurationError):
             HedgeOnPercentile(percentile=0.0)

@@ -153,3 +153,88 @@ class TestRunControl:
 
     def test_step_on_empty_heap_returns_false(self):
         assert Simulator().step() is False
+
+
+class TestPendingEventsExcludeCancelled:
+    def test_cancelled_events_not_counted(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending_events == 10
+        for event in events[:4]:
+            event.cancel()
+        assert sim.pending_events == 6
+
+    def test_double_cancel_counted_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_count_stays_accurate_as_cancelled_events_are_popped(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(2.0, fired.append, "keep")
+        doomed = sim.schedule(1.0, fired.append, "doomed")
+        doomed.cancel()
+        assert sim.pending_events == 1
+        sim.step()  # skips the cancelled event and fires "keep"
+        assert fired == ["keep"]
+        assert sim.pending_events == 0
+        assert keep.state is EventState.FIRED
+
+    def test_mass_cancellation_purges_heap_lazily(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(500)]
+        for event in events[:400]:
+            event.cancel()
+        # The live count is exact and the heap itself has been compacted below
+        # the raw number of scheduled events.
+        assert sim.pending_events == 100
+        assert len(sim._heap) < 500
+        assert sim.run() == 100
+
+    def test_cancellation_during_run_keeps_count_accurate(self):
+        sim = Simulator()
+        later = [sim.schedule(10.0 + i, lambda: None) for i in range(3)]
+        observed = []
+
+        def cancel_two():
+            later[0].cancel()
+            later[1].cancel()
+            observed.append(sim.pending_events)
+
+        sim.schedule(1.0, cancel_two)
+        sim.run_until(5.0)
+        assert observed == [1]
+        assert sim.pending_events == 1
+
+    def test_clear_resets_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        sim.clear()
+        assert sim.pending_events == 0
+        # A stale handle cancelled after clear() must not corrupt the count,
+        # even once new events have been scheduled into the heap.
+        stale = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        stale.cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending_events == 1
+        other_stale = sim.schedule(3.0, lambda: None)
+        sim.clear()
+        sim.schedule(4.0, lambda: None)
+        other_stale.cancel()
+        assert sim.pending_events == 1
+
+    def test_stale_handle_from_purge_cannot_skew_count(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()  # triggers a lazy purge along the way
+        assert sim.pending_events == 50
+        # Cancelling an already-purged event again is a no-op.
+        assert events[0].cancel() is False
+        assert sim.pending_events == 50
