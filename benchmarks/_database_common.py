@@ -1,15 +1,20 @@
 """Shared driver for the Figure 5-11 disk-backed-database benchmarks.
 
-Each figure varies one parameter of the base configuration; the sweep logic,
-table printing and shape checks are identical, so they live here.
+Each figure varies one parameter of the base configuration; since PR 2 the
+sweep itself runs through :mod:`repro.experiments` — a declarative
+:class:`~repro.experiments.Scenario` over the ``database`` adapter, executed
+in parallel by :class:`~repro.experiments.SweepRunner` — so every figure
+benchmark is a thin wrapper around one scenario sweep plus its shape checks.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+import os
+from typing import Dict, Sequence
 
-from repro.analysis import EmpiricalCDF, ResultTable
-from repro.cluster import DatabaseClusterConfig, DatabaseClusterExperiment
+from repro.analysis import ResultTable
+from repro.cluster import DatabaseClusterConfig
+from repro.experiments import ParameterGrid, Scenario, SweepResult, SweepRunner
 
 #: Loads probed in every database benchmark (the 2-copy curve stops where it
 #: would saturate, as in the paper's figures).
@@ -21,67 +26,100 @@ REQUESTS: int = 15_000
 #: Files in the simulated collection (the cache:data *ratio* is what matters).
 NUM_FILES: int = 30_000
 
+#: CCDF thresholds reported for the CDF-at-one-load table.
+CCDF_THRESHOLDS_MS: Sequence[int] = (5, 10, 20, 50, 100, 200)
+
+#: Worker processes per figure sweep (override with REPRO_SWEEP_WORKERS).
+WORKERS: int = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
+
+
+def database_scenario(variant: str) -> Scenario:
+    """The benchmark-scale scenario of one Figure 5-11 database variant."""
+    return Scenario(
+        name=f"bench-database-{variant}",
+        entry_point="database",
+        description=f"Figure 5-11 database sweep, {variant} configuration.",
+        base_params={
+            "variant": variant,
+            "num_files": NUM_FILES,
+            "num_requests": REQUESTS,
+            "ccdf_thresholds_ms": list(CCDF_THRESHOLDS_MS),
+        },
+        grid=ParameterGrid({"load": list(LOADS), "copies": [1, 2]}),
+    )
+
 
 def run_database_figure(
     title: str,
-    config_factory: Callable[..., DatabaseClusterConfig],
+    variant: str,
     cdf_load: float = 0.2,
 ) -> Dict[str, object]:
-    """Run the load sweep for one database configuration and print its tables.
+    """Sweep one database configuration through the experiments runner.
 
     Returns:
-        Dict with ``sweep`` (copy count -> list of results) and ``experiment``.
+        Dict with ``sweep`` (a :class:`SweepResult`) and ``config`` (the
+        variant's :class:`DatabaseClusterConfig`, for inspecting derived
+        quantities such as the per-copy client overhead).
     """
-    config = config_factory(num_files=NUM_FILES)
-    experiment = DatabaseClusterExperiment(config)
-    sweep = experiment.sweep(LOADS, copies_list=(1, 2), num_requests=REQUESTS)
+    sweep = SweepRunner(workers=WORKERS).run(database_scenario(variant))
 
     table = ResultTable(
         ["load", "mean 1 copy (ms)", "mean 2 copies (ms)",
          "p99.9 1 copy (ms)", "p99.9 2 copies (ms)"],
         title=title,
     )
-    replicated_by_load = {r.load: r for r in sweep[2]}
-    for baseline in sweep[1]:
-        replicated = replicated_by_load.get(baseline.load)
+    replicated_by_load = {p.params["load"]: p for p in sweep.select(copies=2)}
+    for baseline in sweep.select(copies=1):
+        load = baseline.params["load"]
+        replicated = replicated_by_load.get(load)
         table.add_row(**{
-            "load": baseline.load,
-            "mean 1 copy (ms)": round(baseline.mean * 1000, 2),
-            "mean 2 copies (ms)": round(replicated.mean * 1000, 2) if replicated else None,
-            "p99.9 1 copy (ms)": round(baseline.p999 * 1000, 1),
-            "p99.9 2 copies (ms)": round(replicated.p999 * 1000, 1) if replicated else None,
+            "load": load,
+            "mean 1 copy (ms)": round(baseline.value("mean") * 1000, 2),
+            "mean 2 copies (ms)":
+                round(replicated.value("mean") * 1000, 2) if replicated else None,
+            "p99.9 1 copy (ms)": round(baseline.value("p999") * 1000, 1),
+            "p99.9 2 copies (ms)":
+                round(replicated.value("p999") * 1000, 1) if replicated else None,
         })
     print("\n" + table.to_text())
 
-    baseline_cdf = next((r for r in sweep[1] if abs(r.load - cdf_load) < 1e-9), None)
-    replicated_cdf = replicated_by_load.get(cdf_load)
+    baseline_cdf = next(iter(sweep.select(load=cdf_load, copies=1)), None)
+    replicated_cdf = next(iter(sweep.select(load=cdf_load, copies=2)), None)
     if baseline_cdf is not None and replicated_cdf is not None:
         cdf_table = ResultTable(
             ["threshold (ms)", "1 copy frac later", "2 copies frac later"],
             title=f"CDF at load {cdf_load:.0%}",
         )
-        base = EmpiricalCDF(baseline_cdf.response_times)
-        repl = EmpiricalCDF(replicated_cdf.response_times)
-        for threshold_ms in (5, 10, 20, 50, 100, 200):
+        for threshold_ms in CCDF_THRESHOLDS_MS:
+            key = f"frac_later_{threshold_ms:g}ms"
             cdf_table.add_row(**{
                 "threshold (ms)": threshold_ms,
-                "1 copy frac later": f"{base.ccdf(threshold_ms / 1000.0):.4f}",
-                "2 copies frac later": f"{repl.ccdf(threshold_ms / 1000.0):.4f}",
+                "1 copy frac later": f"{baseline_cdf.value(key):.4f}",
+                "2 copies frac later": f"{replicated_cdf.value(key):.4f}",
             })
         print(cdf_table.to_text())
 
-    return {"sweep": sweep, "experiment": experiment, "config": config}
+    config = getattr(DatabaseClusterConfig, variant)(num_files=NUM_FILES)
+    return {"sweep": sweep, "config": config}
 
 
-def mean_improvement_at(sweep, load: float) -> float:
+def point_at(sweep: SweepResult, load: float, copies: int):
+    """The ok point of one (load, copies) combination.
+
+    Raises:
+        LookupError: If that point is missing or was infeasible.
+    """
+    points = sweep.select(load=load, copies=copies)
+    if not points:
+        raise LookupError(f"no ok point at load={load}, copies={copies}")
+    return points[0]
+
+
+def mean_improvement_at(sweep: SweepResult, load: float) -> float:
     """Ratio mean(1 copy) / mean(2 copies) at one load (>1 means replication wins)."""
-    baseline = next(r for r in sweep[1] if abs(r.load - load) < 1e-9)
-    replicated = next(r for r in sweep[2] if abs(r.load - load) < 1e-9)
-    return baseline.mean / replicated.mean
+    return point_at(sweep, load, 1).value("mean") / point_at(sweep, load, 2).value("mean")
 
 
-def tail_improvement_at(sweep, load: float) -> float:
+def tail_improvement_at(sweep: SweepResult, load: float) -> float:
     """Ratio p99.9(1 copy) / p99.9(2 copies) at one load."""
-    baseline = next(r for r in sweep[1] if abs(r.load - load) < 1e-9)
-    replicated = next(r for r in sweep[2] if abs(r.load - load) < 1e-9)
-    return baseline.p999 / replicated.p999
+    return point_at(sweep, load, 1).value("p999") / point_at(sweep, load, 2).value("p999")

@@ -8,15 +8,13 @@ a ~30% threshold load, a 25-33% mean reduction at 10-20% load, and a ~2x
 from _database_common import mean_improvement_at, run_database_figure, tail_improvement_at
 from conftest import run_once
 
-from repro.cluster import DatabaseClusterConfig
-
 
 def test_fig5_database_base_configuration(benchmark):
     outcome = run_once(
         benchmark,
         run_database_figure,
         "Figure 5: base configuration (4 KB files, cache:data 0.1)",
-        DatabaseClusterConfig.base,
+        "base",
     )
     sweep = outcome["sweep"]
 

@@ -7,15 +7,13 @@ like the base configuration: file size barely matters while files stay small.
 from _database_common import mean_improvement_at, run_database_figure
 from conftest import run_once
 
-from repro.cluster import DatabaseClusterConfig
-
 
 def test_fig6_small_files(benchmark):
     outcome = run_once(
         benchmark,
         run_database_figure,
         "Figure 6: 0.04 KB files",
-        DatabaseClusterConfig.small_files,
+        "small_files",
     )
     sweep = outcome["sweep"]
     # Same qualitative picture as Figure 5: replication wins below the threshold.

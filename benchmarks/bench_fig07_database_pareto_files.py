@@ -7,15 +7,13 @@ files remain small: locating the file dominates, not transferring it.
 from _database_common import mean_improvement_at, run_database_figure
 from conftest import run_once
 
-from repro.cluster import DatabaseClusterConfig
-
 
 def test_fig7_pareto_file_sizes(benchmark):
     outcome = run_once(
         benchmark,
         run_database_figure,
         "Figure 7: Pareto-distributed file sizes (mean 4 KB)",
-        DatabaseClusterConfig.pareto_files,
+        "pareto_files",
     )
     sweep = outcome["sweep"]
     assert mean_improvement_at(sweep, 0.1) > 1.05

@@ -5,10 +5,8 @@ the tail improvement from replication grows (paper: 99.9th percentile factor
 rises from ~2.2-2.3x to ~2.5-2.8x at 10-20% load).
 """
 
-from _database_common import run_database_figure, tail_improvement_at
+from _database_common import point_at, run_database_figure, tail_improvement_at
 from conftest import run_once
-
-from repro.cluster import DatabaseClusterConfig
 
 
 def test_fig8_small_cache_ratio(benchmark):
@@ -16,11 +14,11 @@ def test_fig8_small_cache_ratio(benchmark):
         benchmark,
         run_database_figure,
         "Figure 8: cache:data ratio 0.01 (more disk hits)",
-        DatabaseClusterConfig.small_cache,
+        "small_cache",
     )
     sweep = outcome["sweep"]
     # The tail still improves substantially below the threshold load.
     assert tail_improvement_at(sweep, 0.1) > 1.5
     assert tail_improvement_at(sweep, 0.2) > 1.5
     # And the observed hit ratio reflects the tiny cache.
-    assert sweep[1][0].cache_hit_ratio < 0.05
+    assert point_at(sweep, 0.1, 1).value("cache_hit_ratio") < 0.05

@@ -12,15 +12,13 @@ from _database_common import (
 )
 from conftest import run_once
 
-from repro.cluster import DatabaseClusterConfig
-
 
 def test_fig9_ec2_like_noise(benchmark):
     outcome = run_once(
         benchmark,
         run_database_figure,
         "Figure 9: EC2-like noisy servers",
-        DatabaseClusterConfig.ec2,
+        "ec2",
     )
     ec2_sweep = outcome["sweep"]
 

@@ -9,15 +9,13 @@ largely disappears (Section 2.1's client-overhead prediction).
 from _database_common import mean_improvement_at, run_database_figure
 from conftest import run_once
 
-from repro.cluster import DatabaseClusterConfig
-
 
 def test_fig10_large_files(benchmark):
     outcome = run_once(
         benchmark,
         run_database_figure,
         "Figure 10: 400 KB files (client overhead significant)",
-        DatabaseClusterConfig.large_files,
+        "large_files",
     )
     sweep = outcome["sweep"]
     config = outcome["config"]

@@ -6,10 +6,8 @@ latency and replication stops helping the mean (the same mechanism the
 memcached experiment isolates).
 """
 
-from _database_common import mean_improvement_at, run_database_figure
+from _database_common import mean_improvement_at, point_at, run_database_figure
 from conftest import run_once
-
-from repro.cluster import DatabaseClusterConfig
 
 
 def test_fig11_everything_cached(benchmark):
@@ -17,14 +15,14 @@ def test_fig11_everything_cached(benchmark):
         benchmark,
         run_database_figure,
         "Figure 11: cache:data ratio 2 (all files in memory)",
-        DatabaseClusterConfig.all_cached,
+        "all_cached",
     )
     sweep = outcome["sweep"]
 
     # Requests are served from memory: the cache hit ratio is ~1 and the mean
     # response is orders of magnitude below the disk-bound configurations.
-    assert sweep[1][0].cache_hit_ratio > 0.95
-    assert sweep[1][0].mean < 0.002
+    assert point_at(sweep, 0.1, 1).value("cache_hit_ratio") > 0.95
+    assert point_at(sweep, 0.1, 1).value("mean") < 0.002
 
     # Replication no longer reduces the mean at any probed load.
     for load in (0.1, 0.2, 0.3):

@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
 """Explore the threshold load across service-time distributions (Figures 1-4).
 
-For each service-time distribution this script estimates the *threshold load*
-— the highest utilisation at which replicating every request still reduces
-mean latency — and shows how client-side overhead erodes it.  It reproduces,
-at small scale, the Section 2.1 findings:
+Since PR 2 this script is built on :mod:`repro.experiments`: the paired
+replication-vs-baseline sweep runs as a declarative scenario on the parallel
+:class:`~repro.experiments.SweepRunner`, showing the benefit sign per
+(distribution, load) grid point; the precise threshold values are then
+computed independently by the bisection search of
+:func:`repro.queueing.threshold_load`.  It reproduces, at small scale, the
+Section 2.1 findings:
 
 * exponential service: threshold = 1/3 (Theorem 1);
 * deterministic service: threshold ≈ 26% (the conjectured worst case);
@@ -12,18 +15,63 @@ at small scale, the Section 2.1 findings:
 * client overhead comparable to the mean service time: threshold collapses.
 
 Run:
-    python examples/threshold_explorer.py
+    python examples/threshold_explorer.py [--workers N]
 """
+
+import argparse
 
 from repro.analysis import ResultTable
 from repro.core import exponential_threshold_load
 from repro.distributions import Deterministic, Exponential, Pareto, TwoPoint, Weibull
-from repro.queueing import ReplicatedQueueingModel, threshold_load
+from repro.experiments import ParameterGrid, Scenario, SweepRunner
+from repro.queueing import threshold_load
 
+DISTRIBUTIONS = ["deterministic", "exponential", "weibull", "pareto", "two_point"]
+LOADS = [0.1, 0.2, 0.3, 0.4]
 SIM = dict(num_requests=25_000, tolerance=0.02, seed=1)
 
 
+def benefit_scenario(client_overhead: float = 0.0) -> Scenario:
+    """The paired benefit sweep: (distribution x load), 2 copies, shared seed."""
+    suffix = f"-overhead{client_overhead:g}" if client_overhead else ""
+    return Scenario(
+        name=f"threshold-explorer{suffix}",
+        entry_point="queueing_paired",
+        description="Replication benefit across distributions and loads.",
+        base_params={
+            "copies": 2,
+            "num_requests": 25_000,
+            "client_overhead": client_overhead,
+            "shape": 0.5,       # weibull
+            "alpha": 2.1,       # pareto
+            "p": 0.9,           # two_point
+        },
+        grid=ParameterGrid({"distribution": DISTRIBUTIONS, "load": LOADS}),
+        seed=1,
+    )
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4, help="sweep worker processes")
+    args = parser.parse_args()
+    runner = SweepRunner(workers=args.workers)
+
+    # Where does the paired benefit change sign?  One parallel sweep answers
+    # for every (distribution, load) cell at once.
+    sweep = runner.run(benefit_scenario())
+    benefit_table = ResultTable(
+        ["service time"] + [f"benefit @ {load:.0%}" for load in LOADS],
+        title="Paired replication benefit (mean_1copy - mean_2copies, 2 copies)",
+    )
+    for name in DISTRIBUTIONS:
+        row = {"service time": name}
+        for point in sweep.select(distribution=name):
+            row[f"benefit @ {point.params['load']:.0%}"] = round(point.value("benefit"), 3)
+        benefit_table.add_row(**row)
+    print(benefit_table.to_text())
+
+    # Precise thresholds via bisection, with and without client overhead.
     distributions = {
         "deterministic": Deterministic(1.0),
         "exponential": Exponential(1.0),
@@ -31,7 +79,6 @@ def main() -> None:
         "pareto (alpha 2.1)": Pareto(alpha=2.1, mean=1.0),
         "two-point (p=0.9)": TwoPoint(0.9),
     }
-
     table = ResultTable(
         ["service time", "threshold load", "threshold w/ 20% overhead"],
         title="Threshold load by service-time distribution (2 copies)",
@@ -44,26 +91,28 @@ def main() -> None:
             "threshold load": round(clean, 3),
             "threshold w/ 20% overhead": round(with_overhead, 3),
         })
+    print()
     print(table.to_text())
     print(f"\nTheorem 1 (exact, exponential service): {exponential_threshold_load():.3f}")
 
-    # Show the actual latency curves for one distribution (Figure 1 shape).
-    service = Pareto(alpha=2.1, mean=1.0)
-    curve = ResultTable(
-        ["load", "1 copy mean", "2 copies mean", "1 copy p99.9", "2 copies p99.9"],
-        title="\nPareto(2.1) service: response time vs load",
+    # The latency curves for one distribution (Figure 1 shape), again as a
+    # sweep: the paired adapter reports both arms of each load point.
+    curve_sweep = runner.run(
+        Scenario(
+            name="threshold-explorer-pareto-curve",
+            entry_point="queueing_paired",
+            description="Pareto(2.1) response time vs load, both arms.",
+            base_params={"distribution": "pareto", "alpha": 2.1, "num_requests": 25_000},
+            grid=ParameterGrid({"load": LOADS}),
+            seed=2,
+        )
     )
-    for load in (0.1, 0.2, 0.3, 0.4):
-        baseline = ReplicatedQueueingModel(service, copies=1, seed=2).run_fast(load, 25_000)
-        replicated = ReplicatedQueueingModel(service, copies=2, seed=2).run_fast(load, 25_000)
-        curve.add_row(**{
-            "load": load,
-            "1 copy mean": round(baseline.mean, 3),
-            "2 copies mean": round(replicated.mean, 3),
-            "1 copy p99.9": round(baseline.summary.p999, 2),
-            "2 copies p99.9": round(replicated.summary.p999, 2),
-        })
-    print(curve.to_text())
+    curve = curve_sweep.to_table(
+        ["load", "mean_baseline", "mean_replicated", "p999_baseline", "p999_replicated"],
+        title="Pareto(2.1) service: response time vs load",
+    )
+    print()
+    print(curve.to_text(float_format=".3f"))
 
 
 if __name__ == "__main__":

@@ -40,6 +40,11 @@ evaluation depends on:
 
 ``repro.analysis``
     Latency statistics, CDFs and result tables.
+
+``repro.experiments``
+    Declarative scenario sweeps: parameter grids, a scenario registry over
+    every substrate, a parallel sweep runner with derived per-point seeds,
+    and the JSON/CSV sweep artifact format (``python -m repro.experiments``).
 """
 
 from repro._version import __version__

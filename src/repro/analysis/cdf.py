@@ -47,7 +47,8 @@ class EmpiricalCDF:
     def ccdf_points(self, thresholds: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
         """CCDF evaluated at each threshold, as ``(thresholds, fractions)`` arrays."""
         xs = np.asarray(thresholds, dtype=float)
-        fractions = np.array([self.ccdf(x) for x in xs])
+        counts = np.searchsorted(self._sorted, xs, side="right")
+        fractions = 1.0 - counts / self._n
         return xs, fractions
 
     def curve(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -1,0 +1,52 @@
+"""Declarative, parallel scenario sweeps over every substrate.
+
+The paper's results are all *sweeps* — grids of (distribution x load x copies
+x overhead) — so the repository provides sweeping as a subsystem rather than
+ad-hoc loops:
+
+* :class:`ParameterGrid` — the cartesian product of named axes;
+* :class:`Scenario` — a substrate entry point + base params + grid;
+* :class:`SweepRunner` — expands the grid, derives a per-point seed via
+  :func:`repro.sim.rng.substream`, executes points in parallel with
+  ``ProcessPoolExecutor``, and returns results bit-identical for any worker
+  count;
+* :class:`SweepResult` / :class:`PointResult` — the shared JSON/CSV artifact
+  format, feeding :mod:`repro.analysis.tables`;
+* a registry of built-in scenarios (``python -m repro.experiments list``).
+
+Example:
+    >>> from repro.experiments import SweepRunner, get_scenario
+    >>> result = SweepRunner(workers=1).run(
+    ...     get_scenario("queueing-smoke"), overrides={"num_requests": 500})
+    >>> [p.status for p in result.points]
+    ['ok', 'ok']
+"""
+
+from repro.experiments.grid import ParameterGrid
+from repro.experiments.scenario import Scenario, point_key, point_seed
+from repro.experiments.adapters import ADAPTERS, resolve_adapter
+from repro.experiments.results import PointResult, SweepResult
+from repro.experiments.runner import SweepRunner, run_scenario
+from repro.experiments.registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ADAPTERS",
+    "ParameterGrid",
+    "PointResult",
+    "Scenario",
+    "SweepResult",
+    "SweepRunner",
+    "all_scenarios",
+    "get_scenario",
+    "point_key",
+    "point_seed",
+    "register_scenario",
+    "resolve_adapter",
+    "run_scenario",
+    "scenario_names",
+]

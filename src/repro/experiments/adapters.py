@@ -1,0 +1,360 @@
+"""Picklable substrate entry points for the sweep runner.
+
+Every adapter is a module-level function ``adapter(params, seed) -> dict`` so
+that :class:`~repro.experiments.runner.SweepRunner` can ship ``(entry_point
+name, params, seed)`` tuples to ``ProcessPoolExecutor`` workers: plain
+strings, dicts and ints pickle trivially, and the worker resolves the adapter
+by name in :data:`ADAPTERS`.
+
+Adapters return a plain dict with three keys, all JSON-serialisable:
+
+* ``"summary"`` — the point's :class:`~repro.analysis.stats.LatencySummary`
+  as a flat row (or ``None`` when the point produced no samples);
+* ``"metrics"`` — a :meth:`~repro.metrics.MetricsRegistry.snapshot` of the
+  point's counters and recorders;
+* ``"scalars"`` — flat derived quantities (threshold benefit, cache hit
+  ratio, tail fractions, ...) specific to the substrate.
+
+Adapters draw all randomness from the ``seed`` they are handed (derived per
+point by :func:`repro.experiments.scenario.point_seed`), never from global
+state, which is what makes sweep results independent of worker count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.metrics import LatencyRecorder, MetricsRegistry
+
+
+def _summary_row(samples: np.ndarray, name: str) -> Dict[str, Any]:
+    return LatencyRecorder.from_samples(samples, name=name).summary().as_row()
+
+
+def _make_distribution(params: Dict[str, Any]):
+    """Build the unit-mean service-time distribution named by ``params``.
+
+    Recognised ``distribution`` values: ``deterministic``, ``exponential``,
+    ``pareto`` (``alpha``), ``weibull`` (``shape``), ``two_point`` (``p``).
+    """
+    from repro.distributions import Deterministic, Exponential, Pareto, TwoPoint, Weibull
+
+    kind = str(params.get("distribution", "exponential")).lower().replace("-", "_")
+    if kind == "deterministic":
+        return Deterministic(1.0)
+    if kind == "exponential":
+        return Exponential(1.0)
+    if kind == "pareto":
+        return Pareto(alpha=float(params.get("alpha", 2.1)), mean=1.0)
+    if kind == "weibull":
+        return Weibull(shape=float(params.get("shape", 0.5))).unit_mean()
+    if kind == "two_point":
+        return TwoPoint(float(params.get("p", 0.9)))
+    raise ConfigurationError(
+        f"unknown service-time distribution {kind!r}; known: deterministic, "
+        "exponential, pareto, weibull, two_point"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Section 2.1: queueing model
+# --------------------------------------------------------------------------- #
+
+
+def run_queueing(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One ``run_fast`` point of the Section 2.1 replication queueing model.
+
+    Params: ``distribution`` (+ its shape parameters), ``load``, ``copies``,
+    ``num_servers``, ``num_requests``, ``warmup_fraction``, ``client_overhead``.
+    """
+    from repro.queueing import ReplicatedQueueingModel
+
+    copies = int(params.get("copies", 2))
+    num_requests = int(params.get("num_requests", 20_000))
+    model = ReplicatedQueueingModel(
+        _make_distribution(params),
+        num_servers=int(params.get("num_servers", 10)),
+        copies=copies,
+        client_overhead=float(params.get("client_overhead", 0.0)),
+        seed=seed,
+    )
+    result = model.run_fast(
+        float(params["load"]),
+        num_requests=num_requests,
+        warmup_fraction=float(params.get("warmup_fraction", 0.1)),
+    )
+    registry = MetricsRegistry("queueing")
+    registry.counter("requests").increment(num_requests)
+    registry.counter("copies_launched").increment(num_requests * copies)
+    registry.recorder("latency").record_many(result.response_times)
+    return {
+        "summary": result.summary.as_row(),
+        "metrics": registry.snapshot(),
+        "scalars": {"mean": result.mean, "p999": result.summary.p999},
+    }
+
+
+def run_queueing_paired(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """A paired replication-vs-baseline point of the queueing model.
+
+    Runs the unreplicated and the ``copies``-way replicated configuration with
+    the *same* seed (common random numbers, as the paper's testbed replayed
+    the same workload) and reports the paired benefit — the quantity whose
+    sign change defines the threshold load.
+    """
+    from repro.queueing import ReplicatedQueueingModel
+
+    service = _make_distribution(params)
+    load = float(params["load"])
+    copies = int(params.get("copies", 2))
+    num_servers = int(params.get("num_servers", 10))
+    num_requests = int(params.get("num_requests", 20_000))
+    overhead = float(params.get("client_overhead", 0.0))
+
+    baseline = ReplicatedQueueingModel(
+        service, num_servers=num_servers, copies=1, seed=seed
+    ).run_fast(load, num_requests=num_requests)
+    replicated = ReplicatedQueueingModel(
+        service, num_servers=num_servers, copies=copies, client_overhead=overhead, seed=seed
+    ).run_fast(load, num_requests=num_requests)
+
+    registry = MetricsRegistry("queueing-paired")
+    registry.counter("requests").increment(2 * num_requests)
+    registry.counter("copies_launched").increment(num_requests * (1 + copies))
+    registry.recorder("latency_baseline").record_many(baseline.response_times)
+    registry.recorder("latency_replicated").record_many(replicated.response_times)
+    return {
+        "summary": replicated.summary.as_row(),
+        "metrics": registry.snapshot(),
+        "scalars": {
+            "mean_baseline": baseline.mean,
+            "mean_replicated": replicated.mean,
+            "benefit": baseline.mean - replicated.mean,
+            "replication_helps": bool(replicated.mean < baseline.mean),
+            "p999_baseline": baseline.summary.p999,
+            "p999_replicated": replicated.summary.p999,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Sections 2.2 / 2.3: storage cluster
+# --------------------------------------------------------------------------- #
+
+_DATABASE_VARIANTS = (
+    "base",
+    "small_files",
+    "pareto_files",
+    "small_cache",
+    "ec2",
+    "large_files",
+    "all_cached",
+)
+
+
+def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One (load, copies) point of the Section 2.2 disk-backed database.
+
+    Params: ``variant`` (one of the Figure 5-11 named configurations),
+    ``load``, ``copies``, ``num_files``, ``num_requests`` and optional
+    ``ccdf_thresholds_ms`` (tail fractions reported as scalars).
+    """
+    from repro.cluster import DatabaseClusterConfig, DatabaseClusterExperiment
+
+    variant = str(params.get("variant", "base"))
+    if variant not in _DATABASE_VARIANTS:
+        raise ConfigurationError(
+            f"unknown database variant {variant!r}; known: {_DATABASE_VARIANTS}"
+        )
+    config = getattr(DatabaseClusterConfig, variant)(
+        num_files=int(params.get("num_files", 30_000)), seed=seed
+    )
+    experiment = DatabaseClusterExperiment(config)
+    result = experiment.run(
+        float(params["load"]),
+        copies=int(params.get("copies", 2)),
+        num_requests=int(params.get("num_requests", 15_000)),
+    )
+    scalars: Dict[str, Any] = {
+        "mean": result.mean,
+        "p999": result.p999,
+        "cache_hit_ratio": result.cache_hit_ratio,
+    }
+    for threshold_ms in params.get("ccdf_thresholds_ms", ()):
+        fraction = float(np.mean(result.response_times > threshold_ms / 1000.0))
+        scalars[f"frac_later_{threshold_ms:g}ms"] = fraction
+    return {"summary": result.summary.as_row(), "metrics": result.metrics, "scalars": scalars}
+
+
+def run_memcached(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One (load, copies, stub) point of the Section 2.3 memcached model.
+
+    Params: ``load``, ``copies``, ``stub``, ``num_requests``.
+    """
+    from repro.cluster import MemcachedConfig, MemcachedExperiment
+
+    config = MemcachedConfig(seed=seed)
+    result = MemcachedExperiment(config).run(
+        float(params["load"]),
+        copies=int(params.get("copies", 2)),
+        stub=bool(params.get("stub", False)),
+        num_requests=int(params.get("num_requests", 30_000)),
+    )
+    return {
+        "summary": result.summary.as_row(),
+        "metrics": result.metrics,
+        "scalars": {"mean": result.mean, "p999": result.summary.p999},
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Section 2.4: fat-tree network
+# --------------------------------------------------------------------------- #
+
+
+def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One fat-tree run (Section 2.4) with or without in-network replication.
+
+    Params: ``k``, ``load``, ``num_flows``, ``replication`` (bool),
+    ``link_rate_gbps``, ``per_hop_delay_us``, ``first_packets``.
+    """
+    from repro.network import FatTreeExperiment, FatTreeExperimentConfig
+    from repro.network.replication import ReplicationConfig
+
+    replicate = bool(params.get("replication", True))
+    replication = (
+        ReplicationConfig(first_packets=int(params.get("first_packets", 8)))
+        if replicate
+        else ReplicationConfig.disabled()
+    )
+    config = FatTreeExperimentConfig(
+        k=int(params.get("k", 4)),
+        link_rate_gbps=float(params.get("link_rate_gbps", 5.0)),
+        per_hop_delay_us=float(params.get("per_hop_delay_us", 2.0)),
+        load=float(params["load"]),
+        num_flows=int(params.get("num_flows", 500)),
+        replication=replication,
+        seed=seed,
+    )
+    result = FatTreeExperiment(config).run()
+    short = result.short_flow_fcts()
+    completed = result.completed()
+    registry = MetricsRegistry("fattree")
+    registry.counter("flows").increment(len(result.records))
+    registry.counter("flows_completed").increment(len(completed))
+    registry.counter("dropped_packets").increment(result.dropped_packets)
+    registry.counter("dropped_replicas").increment(result.dropped_replicas)
+    registry.counter("timeouts").increment(sum(r.timeouts for r in result.records))
+    if short.size:
+        registry.recorder("short_flow_fct").record_many(short)
+    return {
+        "summary": _summary_row(short, "short_flow_fct") if short.size else None,
+        "metrics": registry.snapshot(),
+        "scalars": {
+            "short_flows_completed": int(short.size),
+            "median_short_fct": float(np.median(short)) if short.size else None,
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Section 3: wide-area models
+# --------------------------------------------------------------------------- #
+
+
+def run_dns(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One copy-count point of the Section 3.2 DNS replication experiment.
+
+    Params: ``copies``, ``num_vantage_points``, ``num_servers``,
+    ``stage1_queries``, ``stage2_queries``, ``tail_threshold_s``.
+    """
+    from repro.wan import DnsExperiment, DnsExperimentConfig
+
+    copies = int(params.get("copies", 2))
+    config = DnsExperimentConfig(
+        num_vantage_points=int(params.get("num_vantage_points", 6)),
+        num_servers=int(params.get("num_servers", max(copies, 5))),
+        stage1_queries_per_server=int(params.get("stage1_queries", 150)),
+        stage2_queries_per_config=int(params.get("stage2_queries", 600)),
+        seed=seed,
+    )
+    copies_list = sorted({1, copies})
+    results = DnsExperiment(config).run(copies_list=copies_list)
+    threshold_s = float(params.get("tail_threshold_s", 0.5))
+    summary = results.summary(copies)
+    registry = MetricsRegistry("dns")
+    registry.counter("queries").increment(
+        len(copies_list) * config.num_vantage_points * config.stage2_queries_per_config
+    )
+    registry.recorder("latency").record_many(results.samples_by_copies[copies])
+    return {
+        "summary": summary.as_row(),
+        "metrics": registry.snapshot(),
+        "scalars": {
+            "mean_ms": summary.mean * 1000.0,
+            "mean_reduction_pct": results.reduction_percent["mean"][copies],
+            "p99_reduction_pct": results.reduction_percent["p99"][copies],
+            "frac_later": results.fraction_later_than(threshold_s, copies),
+            "tail_improvement": (
+                None
+                if copies == 1 or not np.isfinite(results.tail_improvement(threshold_s, copies))
+                else float(results.tail_improvement(threshold_s, copies))
+            ),
+        },
+    }
+
+
+def run_handshake(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """One copy-count point of the Section 3.1 TCP-handshake model.
+
+    Params: ``copies``, ``rtt``, ``num_samples``.
+    """
+    from repro.wan import HandshakeModel
+
+    copies = int(params.get("copies", 2))
+    model = HandshakeModel(rtt=float(params.get("rtt", 0.05)))
+    num_samples = int(params.get("num_samples", 50_000))
+    samples = model.sample_completion_times(
+        copies, num_samples, np.random.default_rng(seed)
+    )
+    registry = MetricsRegistry("handshake")
+    registry.counter("handshakes").increment(num_samples)
+    registry.recorder("completion_time").record_many(samples)
+    return {
+        "summary": _summary_row(samples, "handshake"),
+        "metrics": registry.snapshot(),
+        "scalars": {
+            "loss_probability": model.loss_probability(copies),
+            "expected_completion_s": model.expected_completion_time(copies),
+            "expected_savings_s": model.expected_savings(copies) if copies > 1 else 0.0,
+        },
+    }
+
+
+#: Registry of picklable entry points, keyed by the name scenarios use.
+ADAPTERS: Dict[str, Callable[[Dict[str, Any], int], Dict[str, Any]]] = {
+    "queueing": run_queueing,
+    "queueing_paired": run_queueing_paired,
+    "database": run_database,
+    "memcached": run_memcached,
+    "fattree": run_fattree,
+    "dns": run_dns,
+    "handshake": run_handshake,
+}
+
+
+def resolve_adapter(entry_point: str) -> Callable[[Dict[str, Any], int], Dict[str, Any]]:
+    """Look up an adapter by entry-point name.
+
+    Raises:
+        ConfigurationError: If the name is not registered.
+    """
+    adapter = ADAPTERS.get(entry_point)
+    if adapter is None:
+        raise ConfigurationError(
+            f"unknown entry point {entry_point!r}; known: {sorted(ADAPTERS)}"
+        )
+    return adapter

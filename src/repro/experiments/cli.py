@@ -1,0 +1,146 @@
+"""Command-line interface of the experiments subsystem.
+
+::
+
+    python -m repro.experiments list
+    python -m repro.experiments show <scenario>
+    python -m repro.experiments run <scenario> --workers 4 --out results.json
+
+``run`` prints a compact result table and optionally writes the canonical
+JSON/CSV artifacts.  Because per-point seeds depend only on the scenario and
+the point parameters, the written artifacts are byte-identical for any
+``--workers`` value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import ResultTable
+from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.registry import all_scenarios, get_scenario
+from repro.experiments.results import SweepResult
+from repro.experiments.runner import SweepRunner
+
+
+def _parse_override(text: str) -> tuple:
+    """Parse one ``--set key=value`` pair; values are Python literals or strings."""
+    if "=" not in text:
+        raise ConfigurationError(f"--set expects key=value, got {text!r}")
+    key, raw = text.split("=", 1)
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return key.strip(), value
+
+
+def _overrides(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
+    return dict(_parse_override(pair) for pair in pairs or ())
+
+
+def _summary_table(result: SweepResult) -> ResultTable:
+    """A one-row-per-point overview table of a sweep."""
+    axis_names = list(result.axes)
+    columns = axis_names + ["status", "mean", "p99"]
+    table = ResultTable(columns, title=f"scenario {result.scenario!r} ({len(result.points)} points)")
+    for point in result.points:
+        row: Dict[str, Any] = {name: point.params.get(name) for name in axis_names}
+        row["status"] = point.status
+        summary = point.summary or {}
+        row["mean"] = summary.get("mean")
+        row["p99"] = summary.get("p99")
+        table.add_row(**row)
+    return table
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    table = ResultTable(["scenario", "entry point", "points", "description"])
+    for scenario in all_scenarios():
+        table.add_row(**{
+            "scenario": scenario.name,
+            "entry point": scenario.entry_point,
+            "points": scenario.num_points(),
+            "description": scenario.description,
+        })
+    print(table.to_text())
+    return 0
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    print(f"name:        {scenario.name}")
+    print(f"entry point: {scenario.entry_point}")
+    print(f"description: {scenario.description}")
+    print(f"seed:        {scenario.seed}")
+    print(f"base params: {scenario.base_params}")
+    print(f"grid:        {scenario.grid!r}")
+    for name, values in scenario.grid.axes.items():
+        print(f"  {name}: {values}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    runner = SweepRunner(workers=args.workers)
+    result = runner.run(scenario, overrides=_overrides(args.set), seed=args.seed)
+    if not args.quiet:
+        print(_summary_table(result).to_text())
+        infeasible = [p for p in result.points if not p.ok]
+        if infeasible:
+            print(f"({len(infeasible)} point(s) infeasible — saturated, skipped)")
+    if args.out:
+        result.to_json(args.out)
+        if not args.quiet:
+            print(f"wrote JSON artifact: {args.out}")
+    if args.csv:
+        result.to_csv(args.csv)
+        if not args.quiet:
+            print(f"wrote CSV artifact: {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.experiments`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run declarative scenario sweeps across the repro substrates.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios").set_defaults(func=cmd_list)
+
+    show = sub.add_parser("show", help="describe one scenario")
+    show.add_argument("scenario")
+    show.set_defaults(func=cmd_show)
+
+    run = sub.add_parser("run", help="execute a scenario sweep")
+    run.add_argument("scenario")
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = inline; results identical either way)",
+    )
+    run.add_argument("--out", help="write the JSON artifact to this path")
+    run.add_argument("--csv", help="write a flattened CSV artifact to this path")
+    run.add_argument("--seed", type=int, default=None, help="override the scenario's base seed")
+    run.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="override a base parameter (repeatable), e.g. --set num_requests=1000",
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress the result table")
+    run.set_defaults(func=cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,63 @@
+"""Declarative parameter grids for scenario sweeps.
+
+A :class:`ParameterGrid` is the cartesian product of named axes — exactly the
+shape of the paper's evaluation: (distribution x load x copies x overhead).
+Expansion order is deterministic (row-major over the axes in declaration
+order), which is what lets the sweep runner assign each point a stable index
+and seed regardless of how many workers execute it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+class ParameterGrid:
+    """The cartesian product of named parameter axes.
+
+    Example:
+        >>> grid = ParameterGrid({"load": [0.1, 0.2], "copies": [1, 2]})
+        >>> len(grid)
+        4
+        >>> list(grid)[0]
+        {'load': 0.1, 'copies': 1}
+    """
+
+    def __init__(self, axes: Mapping[str, Sequence[Any]]) -> None:
+        """Create a grid from ``{axis_name: [values...]}``.
+
+        Raises:
+            ConfigurationError: If the grid has no axes or an axis is empty.
+        """
+        if not axes:
+            raise ConfigurationError("a parameter grid needs at least one axis")
+        self._axes: Dict[str, List[Any]] = {}
+        for name, values in axes.items():
+            values = list(values)
+            if not values:
+                raise ConfigurationError(f"grid axis {name!r} has no values")
+            self._axes[str(name)] = values
+
+    @property
+    def axes(self) -> Dict[str, List[Any]]:
+        """The axes as ``{name: values}``, in declaration order (a copy)."""
+        return {name: list(values) for name, values in self._axes.items()}
+
+    def __len__(self) -> int:
+        size = 1
+        for values in self._axes.values():
+            size *= len(values)
+        return size
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        """Yield one ``{axis: value}`` dict per grid point, row-major."""
+        names = list(self._axes)
+        for combo in itertools.product(*self._axes.values()):
+            yield dict(zip(names, combo))
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(f"{name}[{len(v)}]" for name, v in self._axes.items())
+        return f"ParameterGrid({sizes}: {len(self)} points)"

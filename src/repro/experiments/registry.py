@@ -1,0 +1,160 @@
+"""The scenario registry and the built-in scenario catalogue.
+
+Scenarios register by name; the CLI and tests look them up with
+:func:`get_scenario`.  The built-ins cover every substrate in the repository
+(queueing, database cluster, memcached, fat-tree network, WAN DNS and
+handshake) plus the paired replication-vs-baseline threshold sweep that is
+the paper's central experiment, all sized to run in seconds — they are the
+entry points future workload PRs extend, not the full paper-scale runs (the
+benchmarks remain those).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid import ParameterGrid
+from repro.experiments.scenario import Scenario
+
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add ``scenario`` to the registry (``replace=True`` to overwrite).
+
+    Raises:
+        ConfigurationError: If the name is taken and ``replace`` is false.
+    """
+    if scenario.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"scenario {scenario.name!r} is already registered; "
+            "pass replace=True to overwrite"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name.
+
+    Raises:
+        ConfigurationError: If no scenario has that name.
+    """
+    scenario = _REGISTRY.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        )
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# --------------------------------------------------------------------------- #
+# Built-in catalogue
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="queueing-load-sweep",
+        entry_point="queueing",
+        description="Section 2.1 queueing model: response time vs load and copies.",
+        base_params={"distribution": "exponential", "num_requests": 20_000},
+        grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.4], "copies": [1, 2]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="queueing-threshold",
+        entry_point="queueing_paired",
+        description=(
+            "Paired replication-vs-baseline benefit across service-time "
+            "distributions and loads (the threshold-load experiment)."
+        ),
+        base_params={"copies": 2, "num_requests": 20_000},
+        grid=ParameterGrid(
+            {
+                "distribution": ["deterministic", "exponential", "pareto", "two_point"],
+                "load": [0.1, 0.2, 0.3, 0.4],
+            }
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="queueing-smoke",
+        entry_point="queueing_paired",
+        description="Tiny paired queueing sweep for CI smoke runs (seconds).",
+        base_params={"distribution": "exponential", "num_requests": 1_000},
+        grid=ParameterGrid({"load": [0.15, 0.3], "copies": [2]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="database-base",
+        entry_point="database",
+        description="Section 2.2 disk-backed database, Figure 5 base configuration.",
+        base_params={
+            "variant": "base",
+            "num_files": 20_000,
+            "num_requests": 10_000,
+            "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
+        },
+        grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.45], "copies": [1, 2]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="memcached-load-sweep",
+        entry_point="memcached",
+        description="Section 2.3 memcached: replication vs baseline across loads.",
+        base_params={"num_requests": 20_000},
+        grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.45], "copies": [1, 2]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="fattree-short-flows",
+        entry_point="fattree",
+        description=(
+            "Section 2.4 fat-tree (k=4): short-flow completion times with and "
+            "without in-network replication of the first packets."
+        ),
+        base_params={"k": 4, "num_flows": 400},
+        grid=ParameterGrid({"load": [0.2, 0.4], "replication": [False, True]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="dns-best-k",
+        entry_point="dns",
+        description="Section 3.2 DNS: latency vs number of servers queried in parallel.",
+        base_params={"num_vantage_points": 6, "stage2_queries": 600},
+        grid=ParameterGrid({"copies": [1, 2, 4]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="handshake-duplication",
+        entry_point="handshake",
+        description="Section 3.1 TCP handshake: completion time with duplicated packets.",
+        base_params={"num_samples": 50_000},
+        grid=ParameterGrid({"copies": [1, 2], "rtt": [0.05, 0.2]}),
+    )
+)

@@ -1,0 +1,215 @@
+"""Sweep result artifacts: JSON/CSV serialisation and table views.
+
+A :class:`SweepResult` is the collected output of one scenario sweep — one
+:class:`PointResult` per grid point, in grid order.  It is the shared artifact
+format of the repository: benchmarks and examples print it through
+:class:`repro.analysis.tables.ResultTable`, the CLI writes it to JSON/CSV, and
+later analysis reloads it with :meth:`SweepResult.from_json`.
+
+Serialisation is deliberately canonical (points in grid order, keys sorted,
+no wall-clock timestamps) so that two sweeps of the same scenario produce
+byte-identical JSON regardless of worker count — the determinism contract the
+tests pin down.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import ResultTable
+from repro.exceptions import ConfigurationError
+
+#: Version tag of the JSON artifact layout.
+SCHEMA = "repro.experiments.sweep/1"
+
+#: Point executed successfully.
+STATUS_OK = "ok"
+#: Point rejected by the substrate as having no steady state (CapacityError).
+STATUS_INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one sweep point.
+
+    Attributes:
+        index: Position of the point in grid order.
+        params: Full parameter dict of the point (base params + grid values).
+        seed: Derived RNG seed the point ran with.
+        status: ``"ok"`` or ``"infeasible"``.
+        error: Message for infeasible points (``None`` when ok).
+        summary: Latency-summary row of the point (``None`` when absent).
+        metrics: Metrics-registry snapshot of the point.
+        scalars: Substrate-specific derived scalars.
+    """
+
+    index: int
+    params: Dict[str, Any]
+    seed: int
+    status: str = STATUS_OK
+    error: Optional[str] = None
+    summary: Optional[Dict[str, Any]] = None
+    metrics: Optional[Dict[str, Any]] = None
+    scalars: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point executed successfully."""
+        return self.status == STATUS_OK
+
+    def value(self, name: str) -> Any:
+        """Look up ``name`` among params, scalars, then the summary row."""
+        for source in (self.params, self.scalars, self.summary or {}):
+            if name in source:
+                return source[name]
+        raise ConfigurationError(
+            f"point {self.index} has no value {name!r}; params={sorted(self.params)}, "
+            f"scalars={sorted(self.scalars)}, summary={sorted(self.summary or {})}"
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The collected, ordered results of one scenario sweep."""
+
+    scenario: str
+    entry_point: str
+    description: str
+    seed: int
+    base_params: Dict[str, Any]
+    axes: Dict[str, List[Any]]
+    points: List[PointResult]
+
+    # ------------------------------- access ---------------------------- #
+
+    def ok_points(self) -> List[PointResult]:
+        """The points that executed successfully, in grid order."""
+        return [p for p in self.points if p.ok]
+
+    def select(self, **filters: Any) -> List[PointResult]:
+        """Ok points whose params match every ``name=value`` filter."""
+        return [
+            p
+            for p in self.ok_points()
+            if all(p.params.get(name) == value for name, value in filters.items())
+        ]
+
+    def column(self, name: str, **filters: Any) -> List[Any]:
+        """The ``name`` value of every matching ok point, in grid order."""
+        return [p.value(name) for p in self.select(**filters)]
+
+    # ------------------------------- tables ---------------------------- #
+
+    def to_table(
+        self, columns: Sequence[str], title: Optional[str] = None, **filters: Any
+    ) -> ResultTable:
+        """Render selected per-point values as a :class:`ResultTable`.
+
+        Each column is looked up per point via :meth:`PointResult.value`
+        (params first, then scalars, then the summary row).
+        """
+        table = ResultTable(list(columns), title=title)
+        for point in self.select(**filters):
+            table.add_row(**{name: point.value(name) for name in columns})
+        return table
+
+    # ---------------------------- serialisation ------------------------ #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The full artifact as plain JSON-serialisable data."""
+        return {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "entry_point": self.entry_point,
+            "description": self.description,
+            "seed": self.seed,
+            "base_params": self.base_params,
+            "axes": self.axes,
+            "points": [asdict(point) for point in self.points],
+        }
+
+    def to_json(self, path: Optional[str] = None, indent: int = 2) -> str:
+        """Serialise to canonical JSON (sorted keys), optionally writing ``path``."""
+        text = json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepResult":
+        """Rebuild a :class:`SweepResult` from :meth:`to_dict` data."""
+        if data.get("schema") != SCHEMA:
+            raise ConfigurationError(
+                f"unsupported sweep artifact schema {data.get('schema')!r}; "
+                f"expected {SCHEMA!r}"
+            )
+        points = [PointResult(**point) for point in data["points"]]
+        return cls(
+            scenario=data["scenario"],
+            entry_point=data["entry_point"],
+            description=data.get("description", ""),
+            seed=int(data["seed"]),
+            base_params=dict(data.get("base_params", {})),
+            axes={name: list(values) for name, values in data.get("axes", {}).items()},
+            points=points,
+        )
+
+    @classmethod
+    def from_json(cls, source: str) -> "SweepResult":
+        """Load from a JSON string or a path to a JSON file."""
+        text = source
+        if "\n" not in source and source.endswith(".json"):
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        return cls.from_dict(json.loads(text))
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """Flatten the sweep to CSV: one row per point, params + results as columns.
+
+        Nested values (lists in params) are rendered with ``repr``; columns are
+        the union over points, params first, then scalars, then summary fields
+        (prefixed ``summary_``), then status.
+        """
+        param_cols: List[str] = []
+        scalar_cols: List[str] = []
+        summary_cols: List[str] = []
+        for point in self.points:
+            for name in point.params:
+                if name not in param_cols:
+                    param_cols.append(name)
+            for name in point.scalars:
+                if name not in scalar_cols:
+                    scalar_cols.append(name)
+            for name in point.summary or {}:
+                if name not in summary_cols:
+                    summary_cols.append(name)
+        header = (
+            ["index", "seed", "status"]
+            + param_cols
+            + scalar_cols
+            + [f"summary_{name}" for name in summary_cols]
+        )
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(header)
+        for point in self.points:
+            row: List[Any] = [point.index, point.seed, point.status]
+            for name in param_cols:
+                value = point.params.get(name, "")
+                row.append(repr(value) if isinstance(value, (list, tuple, dict)) else value)
+            for name in scalar_cols:
+                row.append(point.scalars.get(name, ""))
+            summary = point.summary or {}
+            for name in summary_cols:
+                row.append(summary.get(name, ""))
+            writer.writerow(row)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf-8", newline="") as handle:
+                handle.write(text)
+        return text

@@ -1,0 +1,152 @@
+"""Parallel scenario-sweep execution.
+
+:class:`SweepRunner` expands a :class:`~repro.experiments.scenario.Scenario`
+into its grid points, derives each point's RNG seed (a pure function of the
+scenario seed, name and point parameters — see
+:func:`~repro.experiments.scenario.point_seed`), and executes the points
+either inline (``workers=1``) or on a ``ProcessPoolExecutor``.  Results come
+back in grid order whatever the completion order, so a sweep's
+:class:`~repro.experiments.results.SweepResult` is bit-identical for any
+worker count.
+
+Points whose substrate rejects them as saturated (``CapacityError``) are
+recorded as ``"infeasible"`` rather than aborting the sweep — that mirrors
+how the paper's 2-copy curves stop short of full load.  Any other exception
+propagates: a sweep that crashes should fail loudly, not produce a partial
+artifact.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.experiments.adapters import resolve_adapter
+from repro.experiments.results import (
+    STATUS_INFEASIBLE,
+    STATUS_OK,
+    PointResult,
+    SweepResult,
+)
+from repro.experiments.scenario import Scenario, point_seed
+
+#: A unit of work shipped to a pool worker: (entry_point, params, seed, index).
+_WorkItem = Tuple[str, Dict[str, Any], int, int]
+
+
+def _execute_point(work: _WorkItem) -> Dict[str, Any]:
+    """Run one sweep point; module-level so it pickles to pool workers."""
+    entry_point, params, seed, index = work
+    adapter = resolve_adapter(entry_point)
+    try:
+        outcome = adapter(params, seed)
+    except CapacityError as exc:
+        return {
+            "index": index,
+            "params": params,
+            "seed": seed,
+            "status": STATUS_INFEASIBLE,
+            "error": f"{type(exc).__name__}: {exc}",
+            "summary": None,
+            "metrics": None,
+            "scalars": {},
+        }
+    return {
+        "index": index,
+        "params": params,
+        "seed": seed,
+        "status": STATUS_OK,
+        "error": None,
+        "summary": outcome.get("summary"),
+        "metrics": outcome.get("metrics"),
+        "scalars": outcome.get("scalars", {}),
+    }
+
+
+class SweepRunner:
+    """Expands a scenario and executes its points, optionally in parallel."""
+
+    def __init__(self, workers: int = 1) -> None:
+        """Create a runner.
+
+        Args:
+            workers: Number of worker processes; ``1`` runs every point inline
+                in the calling process (no pool, easiest to debug).  Results
+                are identical either way.
+        """
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        self.workers = int(workers)
+
+    def run(
+        self,
+        scenario: Scenario,
+        overrides: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> SweepResult:
+        """Execute every point of ``scenario`` and collect a :class:`SweepResult`.
+
+        Args:
+            scenario: The scenario to sweep.
+            overrides: Optional base-parameter overrides (e.g. a smaller
+                ``num_requests`` for a smoke run).  Grid axes still win over
+                overrides, matching :meth:`Scenario.points`.
+            seed: Optional replacement for the scenario's base seed.
+
+        Returns:
+            The sweep's results, points in grid order.
+        """
+        if overrides:
+            colliding = sorted(set(overrides) & set(scenario.grid.axes))
+            if colliding:
+                raise ConfigurationError(
+                    f"cannot override swept parameter(s) {colliding}: the grid "
+                    f"axis values always win, so the override would be silently "
+                    f"ignored; edit the scenario's grid instead"
+                )
+        if overrides or seed is not None:
+            scenario = scenario.with_overrides(base_params=overrides, seed=seed)
+
+        work: List[_WorkItem] = [
+            (
+                scenario.entry_point,
+                params,
+                point_seed(scenario.seed, scenario.name, params),
+                index,
+            )
+            for index, params in enumerate(scenario.points())
+        ]
+        # Resolve the adapter up front so an unknown entry point fails before
+        # any worker is spawned.
+        resolve_adapter(scenario.entry_point)
+
+        if self.workers == 1 or len(work) <= 1:
+            raw = [_execute_point(item) for item in work]
+        else:
+            max_workers = min(self.workers, len(work))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                # Executor.map preserves submission order, so results land in
+                # grid order no matter which worker finishes first.
+                raw = list(pool.map(_execute_point, work))
+
+        points = [PointResult(**record) for record in raw]
+        return SweepResult(
+            scenario=scenario.name,
+            entry_point=scenario.entry_point,
+            description=scenario.description,
+            seed=scenario.seed,
+            base_params=dict(scenario.base_params),
+            axes=scenario.grid.axes,
+            points=points,
+        )
+
+
+def run_scenario(
+    scenario: Scenario,
+    workers: int = 1,
+    overrides: Optional[Mapping[str, Any]] = None,
+    seed: Optional[int] = None,
+) -> SweepResult:
+    """Convenience wrapper: ``SweepRunner(workers).run(scenario, ...)``."""
+    return SweepRunner(workers=workers).run(scenario, overrides=overrides, seed=seed)

@@ -1,0 +1,97 @@
+"""Scenario definitions: a substrate entry point plus a parameter grid.
+
+A :class:`Scenario` is the declarative unit of experimentation: it names one
+of the picklable substrate adapters (:mod:`repro.experiments.adapters`), a set
+of fixed base parameters, and a :class:`~repro.experiments.grid.ParameterGrid`
+of swept parameters.  The sweep runner expands the grid, merges each grid
+point over the base parameters, and derives a per-point RNG seed from the
+scenario's seed and the point's parameters — so a scenario is a complete,
+reproducible description of an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.grid import ParameterGrid
+from repro.sim.rng import substream
+
+
+def point_key(params: Mapping[str, Any]) -> str:
+    """A canonical string key of one grid point's full parameter dict.
+
+    Sorted by parameter name so the key is independent of dict insertion
+    order; used both to derive the point's RNG seed and to pair points across
+    sweeps.
+    """
+    return repr(sorted((str(k), v) for k, v in params.items()))
+
+
+def point_seed(base_seed: Optional[int], scenario_name: str, params: Mapping[str, Any]) -> int:
+    """Derive the RNG seed of one sweep point.
+
+    The seed is a deterministic function of the scenario seed, the scenario
+    name and the point's parameters (via :func:`repro.sim.rng.substream`), and
+    of nothing else — not the worker that runs the point, not the order points
+    complete in.  This is what makes sweep results bit-identical regardless of
+    worker count.
+    """
+    stream = substream(base_seed, "experiments", scenario_name, point_key(params))
+    return int(stream.integers(0, 2**31 - 1))
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative scenario sweep.
+
+    Attributes:
+        name: Scenario identifier (registry key and CLI argument).
+        entry_point: Name of a substrate adapter registered in
+            :data:`repro.experiments.adapters.ADAPTERS`.
+        grid: The swept parameter axes.
+        base_params: Fixed parameters merged under every grid point (a grid
+            axis with the same name overrides the base value).
+        description: One-line human description (shown by ``list``/``show``).
+        seed: Base seed the per-point seeds are derived from.
+    """
+
+    name: str
+    entry_point: str
+    grid: ParameterGrid
+    base_params: Dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if not self.entry_point:
+            raise ConfigurationError("a scenario needs an entry point")
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Yield the full parameter dict of every sweep point, in grid order."""
+        for overrides in self.grid:
+            params = dict(self.base_params)
+            params.update(overrides)
+            yield params
+
+    def num_points(self) -> int:
+        """Number of points in the sweep."""
+        return len(self.grid)
+
+    def with_overrides(
+        self,
+        base_params: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> "Scenario":
+        """A copy of this scenario with base parameters and/or seed replaced."""
+        merged = dict(self.base_params)
+        if base_params:
+            merged.update(base_params)
+        return replace(
+            self,
+            base_params=merged,
+            seed=self.seed if seed is None else int(seed),
+        )

@@ -142,13 +142,7 @@ class ReplicatedQueueingModel:
         Returns:
             A :class:`QueueingResults` with the retained response times.
         """
-        self._validate_load(load)
-        if num_requests < 10:
-            raise ConfigurationError(f"num_requests must be >= 10, got {num_requests!r}")
-        if not 0.0 <= warmup_fraction < 1.0:
-            raise ConfigurationError(
-                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
-            )
+        self._validate_run(load, num_requests, warmup_fraction)
 
         mean_service = self.service.mean()
         arrivals_rng = substream(self.seed, arrival_stream)
@@ -231,8 +225,12 @@ class ReplicatedQueueingModel:
         Slower than :meth:`run_fast` but expressed in terms of
         :class:`repro.sim.resources.Server`, which is how the cluster and
         network substrates are built; the tests check both paths agree.
+
+        Raises:
+            ConfigurationError: Same parameter validation as :meth:`run_fast`
+                (load, ``num_requests >= 10``, ``0 <= warmup_fraction < 1``).
         """
-        self._validate_load(load)
+        self._validate_run(load, num_requests, warmup_fraction)
         mean_service = self.service.mean()
         arrivals_rng = substream(self.seed, "arrivals")
         service_rng = substream(self.seed, "service")
@@ -284,6 +282,18 @@ class ReplicatedQueueingModel:
             raise CapacityError(
                 f"replicated utilisation {self.copies * load:.3f} >= 1: "
                 "the model has no steady state at this load"
+            )
+
+    def _validate_run(
+        self, load: float, num_requests: int, warmup_fraction: float
+    ) -> None:
+        """Parameter validation shared by the fast and event-driven paths."""
+        self._validate_load(load)
+        if num_requests < 10:
+            raise ConfigurationError(f"num_requests must be >= 10, got {num_requests!r}")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction!r}"
             )
 
 

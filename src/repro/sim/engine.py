@@ -11,6 +11,7 @@ consistent across substrates and makes experiments reproducible.
 from __future__ import annotations
 
 import heapq
+import math
 from typing import Any, Callable, Optional
 
 from repro.exceptions import SimulationError
@@ -117,7 +118,9 @@ class Simulator:
         Raises:
             SimulationError: If ``delay`` is negative or not a finite number.
         """
-        if not delay >= 0.0:
+        if not math.isfinite(delay):
+            raise SimulationError(f"event delay must be finite, got {delay!r}")
+        if delay < 0.0:
             raise SimulationError(f"cannot schedule an event {delay!r} seconds in the past")
         return self.schedule_at(self._now + delay, callback, *args, priority=priority)
 
@@ -131,8 +134,13 @@ class Simulator:
         """Schedule ``callback(*args)`` at absolute simulated time ``time``.
 
         Raises:
-            SimulationError: If ``time`` is before the current clock.
+            SimulationError: If ``time`` is not a finite number or is before
+                the current clock.  NaN is rejected explicitly: it compares
+                false against every clock value, so it would slip past the
+                ordering check below and corrupt the event heap's invariant.
         """
+        if not math.isfinite(time):
+            raise SimulationError(f"event time must be finite, got {time!r}")
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time:.6g}: clock is already at t={self._now:.6g}"

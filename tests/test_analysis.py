@@ -105,6 +105,25 @@ class TestEmpiricalCDF:
         xs, fractions = cdf.ccdf_points([0.5, 5.0, 50.0, 500.0])
         assert list(fractions) == pytest.approx([1.0, 2 / 3, 1 / 3, 0.0])
 
+    def test_ccdf_points_matches_scalar_ccdf(self, rng):
+        # The vectorised implementation must agree exactly with evaluating
+        # ccdf() one threshold at a time (including at exact sample values,
+        # where the side="right" convention matters).
+        samples = rng.exponential(1.0, 1_000)
+        cdf = EmpiricalCDF(samples)
+        thresholds = np.concatenate([
+            np.linspace(0.0, float(samples.max()) * 1.1, 57),
+            samples[:25],          # exact sample values
+            [-1.0, 0.0],
+        ])
+        xs, fractions = cdf.ccdf_points(thresholds)
+        assert np.array_equal(xs, thresholds)
+        assert np.array_equal(fractions, np.array([cdf.ccdf(x) for x in thresholds]))
+
+    def test_ccdf_points_empty_thresholds(self):
+        xs, fractions = EmpiricalCDF([1.0, 2.0]).ccdf_points([])
+        assert xs.size == 0 and fractions.size == 0
+
     def test_curve_monotone(self, rng):
         xs, fractions = EmpiricalCDF(rng.exponential(1.0, 100)).curve()
         assert np.all(np.diff(xs) >= 0)

@@ -27,6 +27,26 @@ class TestModelValidation:
         with pytest.raises(ConfigurationError):
             model.run_fast(0.0)
 
+    @pytest.mark.parametrize("run_name", ["run_fast", "run_event_driven"])
+    def test_both_paths_reject_tiny_request_counts(self, run_name):
+        model = ReplicatedQueueingModel(Exponential(1.0), copies=2)
+        with pytest.raises(ConfigurationError):
+            getattr(model, run_name)(0.2, num_requests=5)
+
+    @pytest.mark.parametrize("run_name", ["run_fast", "run_event_driven"])
+    @pytest.mark.parametrize("warmup_fraction", [-0.1, 1.0, 1.5])
+    def test_both_paths_reject_bad_warmup_fraction(self, run_name, warmup_fraction):
+        # Before the shared _validate_run helper, run_event_driven silently
+        # accepted e.g. warmup_fraction=1.5 and returned an empty result.
+        model = ReplicatedQueueingModel(Exponential(1.0), copies=2)
+        with pytest.raises(ConfigurationError):
+            getattr(model, run_name)(0.2, num_requests=100, warmup_fraction=warmup_fraction)
+
+    def test_event_driven_rejects_saturating_load(self):
+        model = ReplicatedQueueingModel(Exponential(1.0), copies=2)
+        with pytest.raises(CapacityError):
+            model.run_event_driven(0.5, num_requests=100)
+
 
 class TestAgainstTheory:
     def test_single_copy_matches_mm1_mean(self):

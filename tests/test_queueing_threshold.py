@@ -45,6 +45,22 @@ class TestSimulatedThreshold:
         with pytest.raises(ConfigurationError):
             threshold_load(Exponential(1.0), copies=1)
 
+    def test_early_exit_returns_zero_when_replication_hurts_at_low(self):
+        # A client overhead far above the mean service time makes replication
+        # lose even at the lowest probed load, so the bisection never starts.
+        threshold = threshold_load(
+            Exponential(1.0), client_overhead=5.0, num_requests=2_000, seed=1
+        )
+        assert threshold == 0.0
+
+    def test_early_exit_returns_high_when_replication_still_helps_at_high(self):
+        # With the bracket capped below the exponential threshold (1/3),
+        # replication still helps at `high`, so the search reports the cap.
+        threshold = threshold_load(
+            Exponential(1.0), high=0.2, num_requests=5_000, seed=1
+        )
+        assert threshold == 0.2
+
     def test_invalid_bracket_rejected(self):
         with pytest.raises(ConfigurationError):
             threshold_load(Exponential(1.0), low=0.4, high=0.3)

@@ -49,6 +49,38 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             sim.schedule_at(5.0, lambda: None)
 
+    def test_schedule_at_nan_rejected(self):
+        # NaN compares false against the clock, so without an explicit check
+        # it would slip into the heap and corrupt its ordering invariant.
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_schedule_at_infinite_time_rejected(self):
+        sim = Simulator()
+        for time in (float("inf"), float("-inf")):
+            with pytest.raises(SimulationError):
+                sim.schedule_at(time, lambda: None)
+
+    def test_schedule_nan_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("nan"), lambda: None)
+
+    def test_schedule_infinite_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(float("inf"), lambda: None)
+
+    def test_nan_schedule_leaves_heap_usable(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+        fired = []
+        sim.schedule(1.0, fired.append, "ok")
+        sim.run()
+        assert fired == ["ok"] and sim.now == 1.0
+
     def test_events_scheduled_from_callbacks(self):
         sim = Simulator()
         seen = []
