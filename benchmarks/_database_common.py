@@ -9,12 +9,13 @@ benchmark is a thin wrapper around one scenario sweep plus its shape checks.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Dict, Sequence
 
 from repro.analysis import ResultTable
 from repro.cluster import DatabaseClusterConfig
-from repro.experiments import ParameterGrid, Scenario, SweepResult, SweepRunner
+from repro.experiments import SweepResult, SweepRunner, Scenario, get_scenario
 
 #: Loads probed in every database benchmark (the 2-copy curve stops where it
 #: would saturate, as in the paper's figures).
@@ -34,18 +35,19 @@ WORKERS: int = int(os.environ.get("REPRO_SWEEP_WORKERS", "2"))
 
 
 def database_scenario(variant: str) -> Scenario:
-    """The benchmark-scale scenario of one Figure 5-11 database variant."""
-    return Scenario(
+    """The benchmark-scale scenario of one Figure 5-11 database variant.
+
+    Derived from the registered ``database-<variant>`` scenario (same grid,
+    same variant, same CCDF thresholds) with the benchmark suite's sizes, so
+    the benchmarks and the CLI catalogue cannot drift apart.
+    """
+    registered = get_scenario(f"database-{variant.replace('_', '-')}")
+    return dataclasses.replace(
+        registered.with_overrides(
+            {"num_files": NUM_FILES, "num_requests": REQUESTS}
+        ),
         name=f"bench-database-{variant}",
-        entry_point="database",
         description=f"Figure 5-11 database sweep, {variant} configuration.",
-        base_params={
-            "variant": variant,
-            "num_files": NUM_FILES,
-            "num_requests": REQUESTS,
-            "ccdf_thresholds_ms": list(CCDF_THRESHOLDS_MS),
-        },
-        grid=ParameterGrid({"load": list(LOADS), "copies": [1, 2]}),
     )
 
 

@@ -5,8 +5,11 @@ Python simulation of that exact scale is too slow for a benchmark suite, so
 the default here is a k=4 (16-host) fabric with the same switches-per-pod
 structure, the same 225 KB priority queues, ECMP, TCP min-RTO of 10 ms and the
 same replicate-first-8-packets mechanism — the mechanisms that produce every
-effect in Figure 14.  The k=6 paper-scale run is available via
-``examples/datacenter_network.py --paper-scale``.
+effect in Figure 14.  Loads, link rate and per-hop delay are taken from the
+registered paper-scale scenario (``paper-fattree-k6``), so this benchmark and
+the full run sweep the same axes; the k=6 paper-scale run itself is
+``python -m repro.experiments run paper-fattree-k6 --out fattree-k6.jsonl``
+(or ``examples/datacenter_network.py --paper-scale`` for a single load).
 
 Reported series:
  * 14(a): % improvement in median short-flow FCT vs load;
@@ -21,18 +24,26 @@ import pytest
 from conftest import run_once
 
 from repro.analysis import ResultTable
+from repro.experiments import get_scenario
 from repro.network import FatTreeExperiment, FatTreeExperimentConfig
 
-LOADS = [0.2, 0.4, 0.6]
+#: The paper-scale scenario this benchmark is the scaled-down twin of.
+PAPER_SCENARIO = get_scenario("paper-fattree-k6")
+
+LOADS = list(PAPER_SCENARIO.grid.axes["load"])
 NUM_FLOWS = 500
 
 
 @pytest.fixture(scope="module")
 def load_sweep():
+    base = PAPER_SCENARIO.base_params
     results = {}
     for load in LOADS:
         config = FatTreeExperimentConfig(
-            k=4, link_rate_gbps=5.0, per_hop_delay_us=2.0, load=load,
+            k=4,  # scaled down from the scenario's k=6 (54 hosts) for suite speed
+            link_rate_gbps=base["link_rate_gbps"],
+            per_hop_delay_us=base["per_hop_delay_us"],
+            load=load,
             num_flows=NUM_FLOWS, seed=11,
         )
         results[load] = FatTreeExperiment(config).compare()

@@ -42,9 +42,15 @@ evaluation depends on:
     Latency statistics, CDFs and result tables.
 
 ``repro.experiments``
-    Declarative scenario sweeps: parameter grids, a scenario registry over
-    every substrate, a parallel sweep runner with derived per-point seeds,
-    and the JSON/CSV sweep artifact format (``python -m repro.experiments``).
+    Declarative scenario sweeps: parameter grids, a tiered scenario registry
+    over every substrate (up to the paper-scale runs), a chunked parallel
+    sweep runner with derived per-point seeds and resumable streaming
+    artifacts, and artifact diffing (``python -m repro.experiments``).
+
+The packages form a strict layer stack — sim → distributions/workloads →
+substrates → metrics → experiments → analysis; the README's Architecture
+section draws the diagram, and ``EXPERIMENTS.md`` maps every paper figure to
+the scenario and command that reproduce it.
 """
 
 from repro._version import __version__

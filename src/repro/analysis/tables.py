@@ -1,9 +1,13 @@
-"""Plain-text result tables.
+"""Plain-text result tables, including paper-vs-measured diff tables.
 
 Every benchmark prints its results through :class:`ResultTable`, which mirrors
-the rows/series of the corresponding paper figure so that "paper vs measured"
-comparisons in ``EXPERIMENTS.md`` can be read directly off the benchmark
-output.
+the rows/series of the corresponding paper figure; ``EXPERIMENTS.md`` maps
+each figure to the benchmark/scenario that regenerates it, so the paper's
+number and the measured number sit side by side.  :func:`comparison_table`
+builds the common "x-axis vs several curves" shape, and :func:`diff_table`
+renders two runs of the same grid (e.g. a golden artifact against a fresh
+sweep — ``python -m repro.experiments diff a.json b.json``) as paired
+``[paper]`` / ``[measured]`` / ``Δ%`` columns.
 """
 
 from __future__ import annotations
@@ -116,5 +120,63 @@ def comparison_table(
         row: Dict[str, Cell] = {x_name: x}
         for name, values in series.items():
             row[name] = values[i]
+        table.add_row(**row)
+    return table
+
+
+def _delta_percent(a: Cell, b: Cell) -> Optional[float]:
+    """Relative change b vs a in percent, or ``None`` when undefined."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return None
+    if not isinstance(a, (int, float)) or not isinstance(b, (int, float)):
+        return None
+    if a == 0:
+        return None
+    return 100.0 * (b - a) / a
+
+
+def diff_table(
+    title: str,
+    key_columns: Sequence[str],
+    rows: Sequence[tuple],
+    value_columns: Sequence[str],
+    labels: Sequence[str] = ("paper", "measured"),
+) -> ResultTable:
+    """Build a side-by-side comparison table of two runs of the same grid.
+
+    This is the rendering half of the artifact-diff path
+    (:meth:`repro.experiments.SweepResult.diff` pairs the points, this lays
+    them out): each value column ``c`` becomes three columns —
+    ``c [labels[0]]``, ``c [labels[1]]`` and ``c Δ%`` (relative change of the
+    second side versus the first, blank where either side is missing or
+    non-numeric).
+
+    Args:
+        title: Table title.
+        key_columns: Names of the identifying columns (grid axes).
+        rows: One ``(key_values, a_values, b_values)`` mapping triple per
+            paired point.
+        value_columns: The compared value columns.
+        labels: Labels of the two sides, e.g. ``("paper", "measured")``.
+
+    Raises:
+        ConfigurationError: If there are no value columns or the two labels
+            are not distinct.
+    """
+    if not value_columns:
+        raise ConfigurationError("diff_table needs at least one value column")
+    if len(labels) != 2 or labels[0] == labels[1]:
+        raise ConfigurationError(f"diff_table needs two distinct labels, got {labels!r}")
+    columns: List[str] = list(key_columns)
+    for name in value_columns:
+        columns += [f"{name} [{labels[0]}]", f"{name} [{labels[1]}]", f"{name} Δ%"]
+    table = ResultTable(columns, title=title)
+    for key_values, a_values, b_values in rows:
+        row: Dict[str, Cell] = {name: key_values.get(name) for name in key_columns}
+        for name in value_columns:
+            a, b = a_values.get(name), b_values.get(name)
+            row[f"{name} [{labels[0]}]"] = a
+            row[f"{name} [{labels[1]}]"] = b
+            row[f"{name} Δ%"] = _delta_percent(a, b)
         table.add_row(**row)
     return table

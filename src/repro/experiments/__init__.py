@@ -1,18 +1,29 @@
-"""Declarative, parallel scenario sweeps over every substrate.
+"""Declarative, parallel, resumable scenario sweeps over every substrate.
 
 The paper's results are all *sweeps* — grids of (distribution x load x copies
 x overhead) — so the repository provides sweeping as a subsystem rather than
 ad-hoc loops:
 
 * :class:`ParameterGrid` — the cartesian product of named axes;
-* :class:`Scenario` — a substrate entry point + base params + grid;
+* :class:`Scenario` — a substrate entry point + base params + grid, tagged
+  with a cost tier (``smoke`` / ``standard`` / ``paper``);
 * :class:`SweepRunner` — expands the grid, derives a per-point seed via
-  :func:`repro.sim.rng.substream`, executes points in parallel with
-  ``ProcessPoolExecutor``, and returns results bit-identical for any worker
-  count;
-* :class:`SweepResult` / :class:`PointResult` — the shared JSON/CSV artifact
-  format, feeding :mod:`repro.analysis.tables`;
-* a registry of built-in scenarios (``python -m repro.experiments list``).
+  :func:`repro.sim.rng.substream`, executes points in bounded chunks on a
+  ``ProcessPoolExecutor``, and (given an output path) streams each completed
+  point to a JSONL artifact that a killed run can ``resume`` from — the
+  finished artifact is byte-identical for any worker count, chunk size or
+  resume history;
+* :class:`SweepResult` / :class:`PointResult` — the shared JSON/JSONL/CSV
+  artifact format, feeding :mod:`repro.analysis.tables`;
+* :meth:`SweepResult.diff` / :class:`SweepDiff` — pair two artifacts of the
+  same grid point-by-point and render "paper vs measured" columns
+  (``python -m repro.experiments diff``);
+* a registry of built-in scenarios in three tiers, from the CI smoke sweep
+  to the paper-scale k=6 fat-tree / full DNS matrix / EC2-trace database
+  runs (``python -m repro.experiments list --tier paper``).
+
+``EXPERIMENTS.md`` at the repository root maps every paper figure to its
+scenario, exact CLI command and expected runtime.
 
 Example:
     >>> from repro.experiments import SweepRunner, get_scenario
@@ -23,10 +34,16 @@ Example:
 """
 
 from repro.experiments.grid import ParameterGrid
-from repro.experiments.scenario import Scenario, point_key, point_seed
+from repro.experiments.scenario import TIERS, Scenario, point_key, point_seed
 from repro.experiments.adapters import ADAPTERS, resolve_adapter
-from repro.experiments.results import PointResult, SweepResult
-from repro.experiments.runner import SweepRunner, run_scenario
+from repro.experiments.artifact import JSONL_SCHEMA, load_partial
+from repro.experiments.results import (
+    PointResult,
+    SweepDiff,
+    SweepResult,
+    load_sweep_artifact,
+)
+from repro.experiments.runner import DEFAULT_CHUNK_SIZE, SweepRunner, run_scenario
 from repro.experiments.registry import (
     all_scenarios,
     get_scenario,
@@ -36,13 +53,19 @@ from repro.experiments.registry import (
 
 __all__ = [
     "ADAPTERS",
+    "DEFAULT_CHUNK_SIZE",
+    "JSONL_SCHEMA",
     "ParameterGrid",
     "PointResult",
     "Scenario",
+    "SweepDiff",
     "SweepResult",
     "SweepRunner",
+    "TIERS",
     "all_scenarios",
     "get_scenario",
+    "load_partial",
+    "load_sweep_artifact",
     "point_key",
     "point_seed",
     "register_scenario",

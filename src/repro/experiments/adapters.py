@@ -241,21 +241,29 @@ def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     )
     result = FatTreeExperiment(config).run()
     short = result.short_flow_fcts()
+    elephants = result.elephant_fcts()
     completed = result.completed()
+    timeouts = sum(r.timeouts for r in result.records)
     registry = MetricsRegistry("fattree")
     registry.counter("flows").increment(len(result.records))
     registry.counter("flows_completed").increment(len(completed))
     registry.counter("dropped_packets").increment(result.dropped_packets)
     registry.counter("dropped_replicas").increment(result.dropped_replicas)
-    registry.counter("timeouts").increment(sum(r.timeouts for r in result.records))
+    registry.counter("timeouts").increment(timeouts)
     if short.size:
         registry.recorder("short_flow_fct").record_many(short)
     return {
         "summary": _summary_row(short, "short_flow_fct") if short.size else None,
         "metrics": registry.snapshot(),
+        # median/p99 short-flow FCT and timeouts are the Figure 14(a)/(b)
+        # series; the elephant mean is the "replication must not hurt the
+        # elephants" sanity column of Figure 14(c).
         "scalars": {
             "short_flows_completed": int(short.size),
             "median_short_fct": float(np.median(short)) if short.size else None,
+            "p99_short_fct": float(np.percentile(short, 99)) if short.size else None,
+            "elephant_mean_fct": float(np.mean(elephants)) if elephants.size else None,
+            "timeouts": int(timeouts),
         },
     }
 
@@ -293,9 +301,14 @@ def run_dns(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     return {
         "summary": summary.as_row(),
         "metrics": registry.snapshot(),
+        # The four reduction percentages are exactly the Figure 16 series
+        # (mean/median/95th/99th vs the best single server); frac_later and
+        # tail_improvement are the Figure 15 CDF-tail quantities.
         "scalars": {
             "mean_ms": summary.mean * 1000.0,
             "mean_reduction_pct": results.reduction_percent["mean"][copies],
+            "median_reduction_pct": results.reduction_percent["median"][copies],
+            "p95_reduction_pct": results.reduction_percent["p95"][copies],
             "p99_reduction_pct": results.reduction_percent["p99"][copies],
             "frac_later": results.fraction_later_than(threshold_s, copies),
             "tail_improvement": (

@@ -2,14 +2,20 @@
 
 ::
 
-    python -m repro.experiments list
+    python -m repro.experiments list [--tier paper]
     python -m repro.experiments show <scenario>
-    python -m repro.experiments run <scenario> --workers 4 --out results.json
+    python -m repro.experiments run <scenario> --workers 4 --out results.jsonl [--resume]
+    python -m repro.experiments diff golden.json fresh.jsonl
 
-``run`` prints a compact result table and optionally writes the canonical
-JSON/CSV artifacts.  Because per-point seeds depend only on the scenario and
-the point parameters, the written artifacts are byte-identical for any
-``--workers`` value.
+``run`` prints a compact result table and optionally writes artifacts: a
+``--out`` path ending in ``.jsonl`` streams each completed point to disk as
+the sweep runs (resumable after a kill with ``--resume``); ``.json`` writes
+the canonical whole-file artifact at the end.  Because per-point seeds depend
+only on the scenario and the point parameters, the written artifacts are
+byte-identical for any ``--workers``/``--chunk-size`` value and any resume
+history.  ``diff`` loads two artifacts (either layout) and prints the
+paper-vs-measured comparison table.  ``EXPERIMENTS.md`` maps every paper
+figure to its scenario and exact command.
 """
 
 from __future__ import annotations
@@ -22,8 +28,9 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.analysis.tables import ResultTable
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.registry import all_scenarios, get_scenario
-from repro.experiments.results import SweepResult
+from repro.experiments.results import SweepResult, load_sweep_artifact
 from repro.experiments.runner import SweepRunner
+from repro.experiments.scenario import TIERS
 
 
 def _parse_override(text: str) -> tuple:
@@ -42,6 +49,13 @@ def _overrides(pairs: Optional[Sequence[str]]) -> Dict[str, Any]:
     return dict(_parse_override(pair) for pair in pairs or ())
 
 
+def _comma_list(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    items = [item.strip() for item in text.split(",") if item.strip()]
+    return items or None
+
+
 def _summary_table(result: SweepResult) -> ResultTable:
     """A one-row-per-point overview table of a sweep."""
     axis_names = list(result.axes)
@@ -57,11 +71,12 @@ def _summary_table(result: SweepResult) -> ResultTable:
     return table
 
 
-def cmd_list(_args: argparse.Namespace) -> int:
-    table = ResultTable(["scenario", "entry point", "points", "description"])
-    for scenario in all_scenarios():
+def cmd_list(args: argparse.Namespace) -> int:
+    table = ResultTable(["scenario", "tier", "entry point", "points", "description"])
+    for scenario in all_scenarios(tier=args.tier):
         table.add_row(**{
             "scenario": scenario.name,
+            "tier": scenario.tier,
             "entry point": scenario.entry_point,
             "points": scenario.num_points(),
             "description": scenario.description,
@@ -73,6 +88,7 @@ def cmd_list(_args: argparse.Namespace) -> int:
 def cmd_show(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     print(f"name:        {scenario.name}")
+    print(f"tier:        {scenario.tier}")
     print(f"entry point: {scenario.entry_point}")
     print(f"description: {scenario.description}")
     print(f"seed:        {scenario.seed}")
@@ -85,21 +101,60 @@ def cmd_show(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
-    runner = SweepRunner(workers=args.workers)
-    result = runner.run(scenario, overrides=_overrides(args.set), seed=args.seed)
+    streaming = bool(args.out and args.out.endswith(".jsonl"))
+    if args.resume and not streaming:
+        raise ConfigurationError(
+            "--resume needs a streaming artifact: pass --out <path>.jsonl "
+            "(the whole-file .json artifact is only written when a run finishes, "
+            "so there is nothing to resume from)"
+        )
+    runner = SweepRunner(workers=args.workers, chunk_size=args.chunk_size)
+    progress = None
+    if streaming and not args.quiet:
+        def progress(done: int, total: int) -> None:
+            print(f"  [{done}/{total}] points in artifact", flush=True)
+    result = runner.run(
+        scenario,
+        overrides=_overrides(args.set),
+        seed=args.seed,
+        out=args.out if streaming else None,
+        resume=args.resume,
+        progress=progress,
+    )
     if not args.quiet:
         print(_summary_table(result).to_text())
         infeasible = [p for p in result.points if not p.ok]
         if infeasible:
             print(f"({len(infeasible)} point(s) infeasible — saturated, skipped)")
     if args.out:
-        result.to_json(args.out)
+        if not streaming:
+            result.to_json(args.out)
         if not args.quiet:
-            print(f"wrote JSON artifact: {args.out}")
+            kind = "JSONL (streamed)" if streaming else "JSON"
+            print(f"wrote {kind} artifact: {args.out}")
     if args.csv:
         result.to_csv(args.csv)
         if not args.quiet:
             print(f"wrote CSV artifact: {args.csv}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    labels = _comma_list(args.labels) or []
+    if len(labels) != 2:
+        raise ConfigurationError(f"--labels expects two comma-separated names, got {args.labels!r}")
+    base = load_sweep_artifact(args.artifact_a)
+    other = load_sweep_artifact(args.artifact_b)
+    diff = base.diff(other, labels=(labels[0], labels[1]))
+    table = diff.to_table(
+        columns=_comma_list(args.columns), key_columns=_comma_list(args.keys)
+    )
+    print(table.to_text())
+    if diff.only_base or diff.only_other:
+        print(
+            f"(unmatched points: {len(diff.only_base)} only in {labels[0]}, "
+            f"{len(diff.only_other)} only in {labels[1]})"
+        )
     return 0
 
 
@@ -108,22 +163,82 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Run declarative scenario sweeps across the repro substrates.",
+        epilog=(
+            "See EXPERIMENTS.md for the figure-by-figure reproduction guide "
+            "mapping every paper figure to a scenario and command."
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered scenarios").set_defaults(func=cmd_list)
+    list_cmd = sub.add_parser(
+        "list",
+        help="list registered scenarios",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments list\n"
+            "  python -m repro.experiments list --tier paper\n"
+        ),
+    )
+    list_cmd.add_argument(
+        "--tier", choices=TIERS, default=None,
+        help="only scenarios of this tier (smoke = CI, standard = default, "
+             "paper = full paper scale)",
+    )
+    list_cmd.set_defaults(func=cmd_list)
 
-    show = sub.add_parser("show", help="describe one scenario")
+    show = sub.add_parser(
+        "show",
+        help="describe one scenario",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments show dns-best-k\n"
+            "  python -m repro.experiments show paper-fattree-k6\n"
+        ),
+    )
     show.add_argument("scenario")
     show.set_defaults(func=cmd_show)
 
-    run = sub.add_parser("run", help="execute a scenario sweep")
+    run = sub.add_parser(
+        "run",
+        help="execute a scenario sweep",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # quick look at a standard-tier sweep\n"
+            "  python -m repro.experiments run queueing-threshold --workers 4\n"
+            "  # paper-scale run, streamed to a resumable JSONL artifact\n"
+            "  python -m repro.experiments run paper-dns-matrix --workers 4 \\\n"
+            "      --out dns-matrix.jsonl\n"
+            "  # ...killed half-way?  finish only the missing points:\n"
+            "  python -m repro.experiments run paper-dns-matrix --workers 8 \\\n"
+            "      --out dns-matrix.jsonl --resume\n"
+            "  # smoke-size any scenario by overriding base parameters\n"
+            "  python -m repro.experiments run database-ec2 --set num_requests=1000\n"
+        ),
+    )
     run.add_argument("scenario")
     run.add_argument(
         "--workers", type=int, default=1,
         help="worker processes (1 = inline; results identical either way)",
     )
-    run.add_argument("--out", help="write the JSON artifact to this path")
+    run.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="points submitted to the pool per batch; affects only pacing and "
+             "how much work a kill can lose, never the results",
+    )
+    run.add_argument(
+        "--out",
+        help="write an artifact here: a .jsonl path streams points as they "
+             "complete (resumable), any other path gets canonical JSON at the end",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="reuse completed points from an existing --out .jsonl artifact "
+             "and execute only the missing ones (final bytes identical to an "
+             "uninterrupted run)",
+    )
     run.add_argument("--csv", help="write a flattened CSV artifact to this path")
     run.add_argument("--seed", type=int, default=None, help="override the scenario's base seed")
     run.add_argument(
@@ -132,6 +247,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress the result table")
     run.set_defaults(func=cmd_run)
+
+    diff = sub.add_parser(
+        "diff",
+        help="compare two sweep artifacts point-by-point",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "examples:\n"
+            "  # golden (paper) artifact vs a fresh measured run\n"
+            "  python -m repro.experiments diff golden.json fresh.jsonl\n"
+            "  # pick the compared columns and the identifying key columns\n"
+            "  python -m repro.experiments diff a.json b.json \\\n"
+            "      --columns mean,p99,benefit --keys load,copies\n"
+        ),
+    )
+    diff.add_argument("artifact_a", help="reference artifact (.json or .jsonl)")
+    diff.add_argument("artifact_b", help="artifact compared against it (.json or .jsonl)")
+    diff.add_argument(
+        "--columns", default=None,
+        help="comma-separated value columns to compare (default: mean,p99)",
+    )
+    diff.add_argument(
+        "--keys", default=None,
+        help="comma-separated identifying columns (default: the grid axes)",
+    )
+    diff.add_argument(
+        "--labels", default="paper,measured",
+        help="comma-separated labels of the two sides (default: paper,measured)",
+    )
+    diff.set_defaults(func=cmd_diff)
     return parser
 
 

@@ -1,21 +1,31 @@
 """The scenario registry and the built-in scenario catalogue.
 
 Scenarios register by name; the CLI and tests look them up with
-:func:`get_scenario`.  The built-ins cover every substrate in the repository
-(queueing, database cluster, memcached, fat-tree network, WAN DNS and
-handshake) plus the paired replication-vs-baseline threshold sweep that is
-the paper's central experiment, all sized to run in seconds — they are the
-entry points future workload PRs extend, not the full paper-scale runs (the
-benchmarks remain those).
+:func:`get_scenario`.  The catalogue is organised in three tiers
+(:data:`repro.experiments.scenario.TIERS`):
+
+* ``smoke`` — seconds; what CI runs through the CLI on every push;
+* ``standard`` — the default exploration scale, covering every substrate
+  (queueing, database cluster, memcached, fat-tree network, WAN DNS and
+  handshake) plus the paired replication-vs-baseline threshold sweep that is
+  the paper's central experiment, all sized to run in seconds-to-a-minute;
+* ``paper`` — the paper's full scale: the k=6 (54-host) fat-tree of
+  Figure 14, the complete 15-vantage × 10-server DNS matrix of Figures
+  15-17, and the EC2-trace database sweep of Figure 9.  These take minutes
+  to hours; run them with ``--out results.jsonl`` so an interrupted run can
+  be finished with ``--resume``.
+
+``EXPERIMENTS.md`` maps every paper figure to the scenario (and exact CLI
+command) that reproduces it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.grid import ParameterGrid
-from repro.experiments.scenario import Scenario
+from repro.experiments.scenario import TIERS, Scenario
 
 _REGISTRY: Dict[str, Scenario] = {}
 
@@ -49,25 +59,49 @@ def get_scenario(name: str) -> Scenario:
     return scenario
 
 
-def scenario_names() -> List[str]:
-    """Registered scenario names, sorted."""
-    return sorted(_REGISTRY)
+def _check_tier(tier: Optional[str]) -> None:
+    if tier is not None and tier not in TIERS:
+        raise ConfigurationError(f"unknown scenario tier {tier!r}; known tiers: {TIERS}")
 
 
-def all_scenarios() -> List[Scenario]:
-    """All registered scenarios, sorted by name."""
-    return [_REGISTRY[name] for name in scenario_names()]
+def scenario_names(tier: Optional[str] = None) -> List[str]:
+    """Registered scenario names, sorted; optionally limited to one tier."""
+    _check_tier(tier)
+    return sorted(
+        name for name, scenario in _REGISTRY.items()
+        if tier is None or scenario.tier == tier
+    )
+
+
+def all_scenarios(tier: Optional[str] = None) -> List[Scenario]:
+    """All registered scenarios, sorted by name; optionally one tier only."""
+    return [_REGISTRY[name] for name in scenario_names(tier)]
 
 
 # --------------------------------------------------------------------------- #
-# Built-in catalogue
+# Built-in catalogue — smoke tier
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="queueing-smoke",
+        entry_point="queueing_paired",
+        tier="smoke",
+        description="Tiny paired queueing sweep for CI smoke runs (seconds).",
+        base_params={"distribution": "exponential", "num_requests": 1_000},
+        grid=ParameterGrid({"load": [0.15, 0.3], "copies": [2]}),
+    )
+)
+
+# --------------------------------------------------------------------------- #
+# Built-in catalogue — standard tier
 # --------------------------------------------------------------------------- #
 
 register_scenario(
     Scenario(
         name="queueing-load-sweep",
         entry_point="queueing",
-        description="Section 2.1 queueing model: response time vs load and copies.",
+        description="Section 2.1 queueing model: response time vs load and copies (Figure 1).",
         base_params={"distribution": "exponential", "num_requests": 20_000},
         grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.4], "copies": [1, 2]}),
     )
@@ -79,7 +113,7 @@ register_scenario(
         entry_point="queueing_paired",
         description=(
             "Paired replication-vs-baseline benefit across service-time "
-            "distributions and loads (the threshold-load experiment)."
+            "distributions and loads (the threshold-load experiment, Figure 2)."
         ),
         base_params={"copies": 2, "num_requests": 20_000},
         grid=ParameterGrid(
@@ -93,36 +127,66 @@ register_scenario(
 
 register_scenario(
     Scenario(
-        name="queueing-smoke",
+        name="queueing-overhead",
         entry_point="queueing_paired",
-        description="Tiny paired queueing sweep for CI smoke runs (seconds).",
-        base_params={"distribution": "exponential", "num_requests": 1_000},
-        grid=ParameterGrid({"load": [0.15, 0.3], "copies": [2]}),
+        description=(
+            "Figure 4: client-side overhead (as a fraction of the mean service "
+            "time) eroding the paired replication benefit."
+        ),
+        base_params={"distribution": "exponential", "copies": 2, "num_requests": 20_000},
+        grid=ParameterGrid(
+            {"client_overhead": [0.0, 0.1, 0.25, 0.5], "load": [0.1, 0.2, 0.3]}
+        ),
     )
 )
 
-register_scenario(
-    Scenario(
-        name="database-base",
-        entry_point="database",
-        description="Section 2.2 disk-backed database, Figure 5 base configuration.",
-        base_params={
-            "variant": "base",
-            "num_files": 20_000,
-            "num_requests": 10_000,
-            "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
-        },
-        grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.45], "copies": [1, 2]}),
+#: The Figure 5-11 disk-backed-database variants, by figure order.
+_DATABASE_VARIANTS = {
+    "base": "Figure 5: base configuration (4 KB files, cache:data 0.1).",
+    "small_files": "Figure 6: tiny (0.04 KB) files.",
+    "pareto_files": "Figure 7: Pareto-distributed file sizes.",
+    "small_cache": "Figure 8: cache:data ratio 0.01 (disk-bound).",
+    "ec2": "Figure 9: shared EC2-like servers with noisy neighbours.",
+    "large_files": "Figure 10: 400 KB files (transfer-bound).",
+    "all_cached": "Figure 11: everything fits in memory.",
+}
+
+for _variant, _blurb in _DATABASE_VARIANTS.items():
+    register_scenario(
+        Scenario(
+            name=f"database-{_variant.replace('_', '-')}",
+            entry_point="database",
+            description=f"Section 2.2 disk-backed database. {_blurb}",
+            base_params={
+                "variant": _variant,
+                "num_files": 20_000,
+                "num_requests": 10_000,
+                "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
+            },
+            grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.45], "copies": [1, 2]}),
+        )
     )
-)
 
 register_scenario(
     Scenario(
         name="memcached-load-sweep",
         entry_point="memcached",
-        description="Section 2.3 memcached: replication vs baseline across loads.",
+        description="Section 2.3 memcached: replication vs baseline across loads (Figure 12).",
         base_params={"num_requests": 20_000},
         grid=ParameterGrid({"load": [0.1, 0.2, 0.3, 0.45], "copies": [1, 2]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="memcached-stub",
+        entry_point="memcached",
+        description=(
+            "Figure 13: memcached vs the stub build (no-op server) isolating "
+            "the client-side cost of processing extra responses."
+        ),
+        base_params={"load": 0.001, "num_requests": 20_000},
+        grid=ParameterGrid({"stub": [False, True], "copies": [1, 2]}),
     )
 )
 
@@ -156,5 +220,72 @@ register_scenario(
         description="Section 3.1 TCP handshake: completion time with duplicated packets.",
         base_params={"num_samples": 50_000},
         grid=ParameterGrid({"copies": [1, 2], "rtt": [0.05, 0.2]}),
+    )
+)
+
+# --------------------------------------------------------------------------- #
+# Built-in catalogue — paper tier (see EXPERIMENTS.md)
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="paper-fattree-k6",
+        entry_point="fattree",
+        tier="paper",
+        description=(
+            "Figure 14 at paper scale: k=6 (54-host) fat-tree, 5 Gbps links, "
+            "replicate-first-8-packets vs baseline across loads."
+        ),
+        base_params={
+            "k": 6,
+            "num_flows": 2_000,
+            "first_packets": 8,
+            "link_rate_gbps": 5.0,
+            "per_hop_delay_us": 2.0,
+        },
+        grid=ParameterGrid({"load": [0.2, 0.4, 0.6], "replication": [False, True]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="paper-dns-matrix",
+        entry_point="dns",
+        tier="paper",
+        description=(
+            "Figures 15-17 at paper scale: the full 15-vantage x 10-server DNS "
+            "matrix, querying the best k=1..10 servers in parallel."
+        ),
+        base_params={
+            "num_vantage_points": 15,
+            "num_servers": 10,
+            "stage1_queries": 300,
+            "stage2_queries": 2_000,
+        },
+        grid=ParameterGrid({"copies": [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="paper-database-ec2",
+        entry_point="database",
+        tier="paper",
+        description=(
+            "Figure 9 at paper scale: EC2-trace (noisy-neighbour) database "
+            "sweep over a dense load grid."
+        ),
+        base_params={
+            "variant": "ec2",
+            "num_files": 30_000,
+            "num_requests": 40_000,
+            "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
+        },
+        grid=ParameterGrid(
+            {
+                "load": [0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45],
+                "copies": [1, 2],
+            }
+        ),
     )
 )

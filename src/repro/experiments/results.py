@@ -1,15 +1,23 @@
-"""Sweep result artifacts: JSON/CSV serialisation and table views.
+"""Sweep result artifacts: JSON/JSONL/CSV serialisation, tables, and diffs.
 
 A :class:`SweepResult` is the collected output of one scenario sweep — one
 :class:`PointResult` per grid point, in grid order.  It is the shared artifact
 format of the repository: benchmarks and examples print it through
-:class:`repro.analysis.tables.ResultTable`, the CLI writes it to JSON/CSV, and
-later analysis reloads it with :meth:`SweepResult.from_json`.
+:class:`repro.analysis.tables.ResultTable`, the CLI writes it to JSON (whole
+artifact at the end), JSONL (streamed point-by-point, resumable — see
+:mod:`repro.experiments.artifact`) or CSV, and later analysis reloads it with
+:func:`load_sweep_artifact` / :meth:`SweepResult.from_json` /
+:meth:`SweepResult.from_jsonl`.
+
+Two artifacts of the same scenario compare through :meth:`SweepResult.diff`,
+which pairs points by their parameters and renders "paper vs measured"
+columns via :func:`repro.analysis.tables.diff_table` — the workflow behind
+every paper-vs-measured table in ``EXPERIMENTS.md``.
 
 Serialisation is deliberately canonical (points in grid order, keys sorted,
 no wall-clock timestamps) so that two sweeps of the same scenario produce
-byte-identical JSON regardless of worker count — the determinism contract the
-tests pin down.
+byte-identical JSON/JSONL regardless of worker count, chunk size or resume
+history — the determinism contract the tests pin down.
 """
 
 from __future__ import annotations
@@ -18,10 +26,16 @@ import csv
 import io
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.tables import ResultTable
+from repro.analysis.tables import ResultTable, diff_table
 from repro.exceptions import ConfigurationError
+from repro.experiments.artifact import (
+    canonical_json,
+    canonicalize,
+    load_partial,
+    sweep_result_records,
+)
 
 #: Version tag of the JSON artifact layout.
 SCHEMA = "repro.experiments.sweep/1"
@@ -168,6 +182,92 @@ class SweepResult:
                 text = handle.read()
         return cls.from_dict(json.loads(text))
 
+    def to_jsonl(self, path: Optional[str] = None) -> str:
+        """Serialise to the streaming JSONL artifact layout.
+
+        One header line plus one canonical-JSON line per point, in grid order
+        — exactly the bytes :class:`~repro.experiments.runner.SweepRunner`
+        streams when given an output path, so converting a finished sweep and
+        streaming it produce identical files.
+        """
+        header, records = sweep_result_records(self)
+        text = canonical_json(header) + "".join(canonical_json(r) for r in records)
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "SweepResult":
+        """Load a *complete* streaming (JSONL) artifact.
+
+        Raises:
+            ConfigurationError: If the artifact has no header or is missing
+                points (an interrupted run — finish it with ``--resume``
+                before analysing it).
+        """
+        header, points = load_partial(path)
+        if header is None:
+            raise ConfigurationError(
+                f"artifact {path!r} is empty or has no header record"
+            )
+        missing = int(header["num_points"]) - len(points)
+        if missing > 0:
+            raise ConfigurationError(
+                f"artifact {path!r} is incomplete: {missing} of "
+                f"{header['num_points']} points missing — the run was "
+                f"interrupted; rerun with --resume to finish it"
+            )
+        ordered = sorted(points.values(), key=lambda record: int(record["index"]))
+        if missing < 0 or [int(r["index"]) for r in ordered] != list(
+            range(int(header["num_points"]))
+        ):
+            raise ConfigurationError(
+                f"artifact {path!r} holds {len(points)} point records whose "
+                f"indices do not match the header's num_points="
+                f"{header['num_points']}; it looks like concatenated or "
+                f"hand-edited artifacts — regenerate it with a single run"
+            )
+        return cls(
+            scenario=header["scenario"],
+            entry_point=header["entry_point"],
+            description=header.get("description", ""),
+            seed=int(header["seed"]),
+            base_params=dict(header.get("base_params", {})),
+            axes={name: list(values) for name, values in header.get("axes", {}).items()},
+            points=[PointResult(**record) for record in ordered],
+        )
+
+    # ------------------------------- diffing ---------------------------- #
+
+    def diff(
+        self,
+        other: "SweepResult",
+        labels: Tuple[str, str] = ("a", "b"),
+    ) -> "SweepDiff":
+        """Pair this sweep's points with ``other``'s by their parameters.
+
+        The pairing key is each point's full parameter dict (canonicalised, so
+        a tuple-vs-list difference introduced by JSON round-tripping does not
+        matter) — *not* the seed, so a golden "paper" artifact diffs cleanly
+        against a fresh run made with a different ``--seed``.  Points present
+        on only one side (e.g. a grid that gained an axis value) are collected
+        rather than raising; render the comparison with
+        :meth:`SweepDiff.to_table`.
+        """
+        mine = {_param_key(p.params): p for p in self.points}
+        theirs = {_param_key(p.params): p for p in other.points}
+        pairs = [(mine[key], theirs[key]) for key in mine if key in theirs]
+        pairs.sort(key=lambda pair: pair[0].index)
+        return SweepDiff(
+            base=self,
+            other=other,
+            labels=(str(labels[0]), str(labels[1])),
+            pairs=pairs,
+            only_base=[p for key, p in mine.items() if key not in theirs],
+            only_other=[p for key, p in theirs.items() if key not in mine],
+        )
+
     def to_csv(self, path: Optional[str] = None) -> str:
         """Flatten the sweep to CSV: one row per point, params + results as columns.
 
@@ -213,3 +313,94 @@ class SweepResult:
             with open(path, "w", encoding="utf-8", newline="") as handle:
                 handle.write(text)
         return text
+
+
+def _param_key(params: Dict[str, Any]) -> str:
+    """The canonical pairing key of one point's parameter dict."""
+    return json.dumps(canonicalize(params), sort_keys=True)
+
+
+@dataclass(frozen=True)
+class SweepDiff:
+    """Two sweeps of the same grid, paired point-by-point for comparison.
+
+    Attributes:
+        base: The reference sweep (typically the golden / "paper" artifact).
+        other: The sweep compared against it (the fresh / "measured" run).
+        labels: Column labels of the two sides, e.g. ``("paper", "measured")``.
+        pairs: Matched ``(base_point, other_point)`` pairs, in ``base`` grid
+            order.
+        only_base: Points whose parameters appear only in ``base``.
+        only_other: Points whose parameters appear only in ``other``.
+    """
+
+    base: SweepResult
+    other: SweepResult
+    labels: Tuple[str, str]
+    pairs: List[Tuple[PointResult, PointResult]]
+    only_base: List[PointResult]
+    only_other: List[PointResult]
+
+    DEFAULT_COLUMNS = ("mean", "p99")
+
+    def _value(self, point: PointResult, name: str) -> Any:
+        try:
+            return point.value(name)
+        except ConfigurationError:
+            return None
+
+    def to_table(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        key_columns: Optional[Sequence[str]] = None,
+        title: Optional[str] = None,
+    ) -> ResultTable:
+        """Render the paired points as a "paper vs measured" table.
+
+        Args:
+            columns: Value columns to compare (each resolved per point via
+                :meth:`PointResult.value`; unresolvable values render ``-``).
+                Defaults to ``("mean", "p99")``.
+            key_columns: Identifying columns (defaults to the base sweep's
+                grid axes).
+            title: Table title (defaults to naming both scenarios).
+
+        Raises:
+            ConfigurationError: If no points matched at all — that means the
+                two artifacts share no grid point, which is a comparison
+                mistake rather than an interesting diff.
+        """
+        if not self.pairs:
+            raise ConfigurationError(
+                f"no matching points between {self.base.scenario!r} and "
+                f"{self.other.scenario!r}; are these artifacts of the same grid?"
+            )
+        value_columns = list(columns) if columns else list(self.DEFAULT_COLUMNS)
+        keys = list(key_columns) if key_columns else list(self.base.axes)
+        if title is None:
+            title = (
+                f"{self.base.scenario} [{self.labels[0]}] vs "
+                f"{self.other.scenario} [{self.labels[1]}] "
+                f"({len(self.pairs)} matched points)"
+            )
+        rows = []
+        for base_point, other_point in self.pairs:
+            key_values = {name: base_point.params.get(name) for name in keys}
+            a_values = {name: self._value(base_point, name) for name in value_columns}
+            b_values = {name: self._value(other_point, name) for name in value_columns}
+            rows.append((key_values, a_values, b_values))
+        return diff_table(title, keys, rows, value_columns, labels=self.labels)
+
+
+def load_sweep_artifact(path: str) -> SweepResult:
+    """Load a sweep artifact, dispatching on its extension.
+
+    ``.jsonl`` loads the streaming layout (:meth:`SweepResult.from_jsonl`);
+    anything else is treated as the canonical whole-file JSON layout.  This is
+    what the CLI's ``diff`` subcommand uses, so golden ``.json`` artifacts and
+    streamed ``.jsonl`` runs compare interchangeably.
+    """
+    if path.endswith(".jsonl"):
+        return SweepResult.from_jsonl(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        return SweepResult.from_dict(json.load(handle))

@@ -1,28 +1,44 @@
-"""Parallel scenario-sweep execution.
+"""Parallel, chunked, resumable scenario-sweep execution.
 
 :class:`SweepRunner` expands a :class:`~repro.experiments.scenario.Scenario`
 into its grid points, derives each point's RNG seed (a pure function of the
 scenario seed, name and point parameters — see
 :func:`~repro.experiments.scenario.point_seed`), and executes the points
-either inline (``workers=1``) or on a ``ProcessPoolExecutor``.  Results come
-back in grid order whatever the completion order, so a sweep's
-:class:`~repro.experiments.results.SweepResult` is bit-identical for any
-worker count.
+either inline (``workers=1``) or on a ``ProcessPoolExecutor``.
+
+Execution is *chunked*: points are submitted to the pool in bounded batches
+(``chunk_size``) rather than one grid-sized ``map`` call, and when an output
+path is given every completed point is appended to a streaming JSONL artifact
+(:mod:`repro.experiments.artifact`) in grid order.  That is what makes
+paper-scale grids practical — a killed run leaves the completed prefix on
+disk, and ``resume=True`` (CLI ``--resume``) reloads it and executes only the
+missing points, keyed by the substream-derived point seed.  Because per-point
+seeds and the artifact encoding are both canonical, the finished artifact is
+**byte-identical for any worker count, chunk size or resume history**; the
+resume tests pin this down by diffing killed-and-resumed runs against
+uninterrupted ones.
 
 Points whose substrate rejects them as saturated (``CapacityError``) are
 recorded as ``"infeasible"`` rather than aborting the sweep — that mirrors
 how the paper's 2-copy curves stop short of full load.  Any other exception
 propagates: a sweep that crashes should fail loudly, not produce a partial
-artifact.
+artifact (the streaming artifact it leaves behind is still resumable).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.experiments.adapters import resolve_adapter
+from repro.experiments.artifact import (
+    ArtifactWriter,
+    canonicalize,
+    header_record,
+    load_partial,
+    validate_header,
+)
 from repro.experiments.results import (
     STATUS_INFEASIBLE,
     STATUS_OK,
@@ -30,6 +46,11 @@ from repro.experiments.results import (
     SweepResult,
 )
 from repro.experiments.scenario import Scenario, point_seed
+
+#: Default number of points submitted to the pool per batch.  Small enough
+#: that a kill loses at most one chunk of work, large enough that a pool of
+#: typical width stays busy between batch boundaries.
+DEFAULT_CHUNK_SIZE = 32
 
 #: A unit of work shipped to a pool worker: (entry_point, params, seed, index).
 _WorkItem = Tuple[str, Dict[str, Any], int, int]
@@ -64,26 +85,45 @@ def _execute_point(work: _WorkItem) -> Dict[str, Any]:
     }
 
 
-class SweepRunner:
-    """Expands a scenario and executes its points, optionally in parallel."""
+def _chunks(items: List[_WorkItem], size: int) -> List[List[_WorkItem]]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
 
-    def __init__(self, workers: int = 1) -> None:
+
+class SweepRunner:
+    """Expands a scenario and executes its points — parallel, chunked, resumable."""
+
+    def __init__(self, workers: int = 1, chunk_size: Optional[int] = None) -> None:
         """Create a runner.
 
         Args:
             workers: Number of worker processes; ``1`` runs every point inline
                 in the calling process (no pool, easiest to debug).  Results
                 are identical either way.
+            chunk_size: Points submitted per pool batch (default
+                :data:`DEFAULT_CHUNK_SIZE`, floored at ``workers`` so no batch
+                leaves workers idle by construction).  Only affects pacing and
+                how much work a kill can lose — never the results.
         """
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers!r}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size!r}")
         self.workers = int(workers)
+        self.chunk_size = max(
+            int(chunk_size) if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+            self.workers,
+        )
+
+    # ------------------------------------------------------------------ #
 
     def run(
         self,
         scenario: Scenario,
         overrides: Optional[Mapping[str, Any]] = None,
         seed: Optional[int] = None,
+        out: Optional[str] = None,
+        resume: bool = False,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> SweepResult:
         """Execute every point of ``scenario`` and collect a :class:`SweepResult`.
 
@@ -93,10 +133,21 @@ class SweepRunner:
                 ``num_requests`` for a smoke run).  Grid axes still win over
                 overrides, matching :meth:`Scenario.points`.
             seed: Optional replacement for the scenario's base seed.
+            out: Optional path of a streaming JSONL artifact.  Every completed
+                point is appended (in grid order) as the sweep runs, so a
+                killed run leaves its completed prefix behind.
+            resume: Reuse the completed points of an existing artifact at
+                ``out`` (keyed by point seed) and execute only the rest.  The
+                artifact is rewritten canonically, so the finished file is
+                byte-identical to an uninterrupted run's.  Requires ``out``.
+            progress: Optional ``callback(done, total)`` invoked after the
+                cached prefix and after every completed chunk.
 
         Returns:
             The sweep's results, points in grid order.
         """
+        if resume and out is None:
+            raise ConfigurationError("resume=True requires an output path (out=...)")
         if overrides:
             colliding = sorted(set(overrides) & set(scenario.grid.axes))
             if colliding:
@@ -121,16 +172,66 @@ class SweepRunner:
         # any worker is spawned.
         resolve_adapter(scenario.entry_point)
 
-        if self.workers == 1 or len(work) <= 1:
-            raw = [_execute_point(item) for item in work]
-        else:
-            max_workers = min(self.workers, len(work))
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                # Executor.map preserves submission order, so results land in
-                # grid order no matter which worker finishes first.
-                raw = list(pool.map(_execute_point, work))
+        header = header_record(
+            scenario=scenario.name,
+            entry_point=scenario.entry_point,
+            description=scenario.description,
+            seed=scenario.seed,
+            base_params=dict(scenario.base_params),
+            axes=scenario.grid.axes,
+            num_points=len(work),
+        )
+        cached = self._load_cache(out, resume, header, work)
 
-        points = [PointResult(**record) for record in raw]
+        records: List[Optional[Dict[str, Any]]] = [None] * len(work)
+        for _entry, _params, item_seed, index in work:
+            if item_seed in cached:
+                records[index] = cached[item_seed]
+        pending = [item for item in work if records[item[3]] is None]
+
+        writer = ArtifactWriter(out, header) if out is not None else None
+        pool = (
+            ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
+            if self.workers > 1 and len(pending) > 1
+            else None
+        )
+        try:
+            # The artifact is written strictly in grid order: after each chunk
+            # (and the cached prefix), flush every record whose predecessors
+            # are all on disk already.
+            next_to_write = 0
+
+            def flush() -> int:
+                nonlocal next_to_write
+                while next_to_write < len(records) and records[next_to_write] is not None:
+                    if writer is not None:
+                        writer.append_point(records[next_to_write])
+                    next_to_write += 1
+                return next_to_write
+
+            done = flush()
+            if progress is not None:
+                progress(done, len(work))
+            for chunk in _chunks(pending, self.chunk_size):
+                # Executor.map preserves submission order, so records land in
+                # grid order no matter which worker finishes first.
+                executed = (
+                    pool.map(_execute_point, chunk)
+                    if pool is not None
+                    else (_execute_point(item) for item in chunk)
+                )
+                for record in executed:
+                    records[record["index"]] = record
+                done = flush()
+                if progress is not None:
+                    progress(done, len(work))
+        finally:
+            if pool is not None:
+                pool.shutdown()
+            if writer is not None:
+                writer.close()
+
+        points = [PointResult(**record) for record in records]
         return SweepResult(
             scenario=scenario.name,
             entry_point=scenario.entry_point,
@@ -141,12 +242,52 @@ class SweepRunner:
             points=points,
         )
 
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _load_cache(
+        out: Optional[str],
+        resume: bool,
+        header: Dict[str, Any],
+        work: List[_WorkItem],
+    ) -> Dict[int, Dict[str, Any]]:
+        """Load reusable point records from a partial artifact (resume mode).
+
+        A cached record is reused only if its seed matches a current grid
+        point *and* its recorded parameters canonically equal that point's —
+        the belt to the seed's braces, since the seed is already derived from
+        the parameters.  The record's stored index is normalised to the
+        current grid index (for a well-formed artifact they already agree;
+        this stops a hand-edited index field from corrupting the rewrite).
+        """
+        if not resume or out is None:
+            return {}
+        loaded_header, loaded_points = load_partial(out)
+        if loaded_header is None:
+            return {}
+        validate_header(loaded_header, header, out)
+        by_seed: Dict[int, Dict[str, Any]] = {}
+        for _entry, params, item_seed, index in work:
+            record = loaded_points.get(item_seed)
+            if record is None:
+                continue
+            if canonicalize(record.get("params")) != canonicalize(params):
+                continue
+            record = dict(record)
+            record["index"] = index
+            by_seed[item_seed] = record
+        return by_seed
+
 
 def run_scenario(
     scenario: Scenario,
     workers: int = 1,
     overrides: Optional[Mapping[str, Any]] = None,
     seed: Optional[int] = None,
+    out: Optional[str] = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Convenience wrapper: ``SweepRunner(workers).run(scenario, ...)``."""
-    return SweepRunner(workers=workers).run(scenario, overrides=overrides, seed=seed)
+    return SweepRunner(workers=workers).run(
+        scenario, overrides=overrides, seed=seed, out=out, resume=resume
+    )

@@ -18,6 +18,12 @@ from repro.exceptions import ConfigurationError
 from repro.experiments.grid import ParameterGrid
 from repro.sim.rng import substream
 
+#: Recognised scenario tiers, from cheapest to most expensive:
+#: ``smoke`` finishes in seconds (CI), ``standard`` in seconds-to-a-minute
+#: (the default exploration scale), ``paper`` at the paper's full scale
+#: (minutes to hours — run with ``--out x.jsonl`` so a kill is resumable).
+TIERS = ("smoke", "standard", "paper")
+
 
 def point_key(params: Mapping[str, Any]) -> str:
     """A canonical string key of one grid point's full parameter dict.
@@ -55,6 +61,9 @@ class Scenario:
             axis with the same name overrides the base value).
         description: One-line human description (shown by ``list``/``show``).
         seed: Base seed the per-point seeds are derived from.
+        tier: Cost tier, one of :data:`TIERS` — ``smoke`` (seconds, CI),
+            ``standard`` (the default exploration scale) or ``paper`` (the
+            paper's full scale; see ``EXPERIMENTS.md``).
     """
 
     name: str
@@ -63,12 +72,17 @@ class Scenario:
     base_params: Dict[str, Any] = field(default_factory=dict)
     description: str = ""
     seed: int = 0
+    tier: str = "standard"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("a scenario needs a non-empty name")
         if not self.entry_point:
             raise ConfigurationError("a scenario needs an entry point")
+        if self.tier not in TIERS:
+            raise ConfigurationError(
+                f"unknown scenario tier {self.tier!r}; known tiers: {TIERS}"
+            )
 
     def points(self) -> Iterator[Dict[str, Any]]:
         """Yield the full parameter dict of every sweep point, in grid order."""

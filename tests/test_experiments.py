@@ -232,6 +232,56 @@ class TestSweepResult:
         assert open(csv_path).readline().startswith("index,")
 
 
+class TestTiers:
+    def test_unknown_tier_rejected_on_scenario_and_lookup(self):
+        with pytest.raises(ConfigurationError, match="tier"):
+            Scenario(
+                name="s", entry_point="queueing", tier="gigantic",
+                grid=ParameterGrid({"load": [0.1]}),
+            )
+        with pytest.raises(ConfigurationError, match="tier"):
+            scenario_names(tier="gigantic")
+
+    def test_tier_filtering_partitions_the_catalogue(self):
+        from repro.experiments import all_scenarios
+
+        smoke = scenario_names(tier="smoke")
+        paper = scenario_names(tier="paper")
+        standard = scenario_names(tier="standard")
+        assert "queueing-smoke" in smoke
+        assert sorted(smoke + paper + standard) == scenario_names()
+        assert all(s.tier == "paper" for s in all_scenarios(tier="paper"))
+
+    def test_paper_tier_matches_the_paper_scale(self):
+        fattree = get_scenario("paper-fattree-k6")
+        assert fattree.tier == "paper" and fattree.base_params["k"] == 6
+        assert fattree.grid.axes["replication"] == [False, True]
+
+        dns = get_scenario("paper-dns-matrix")
+        assert dns.base_params["num_vantage_points"] == 15
+        assert dns.base_params["num_servers"] == 10
+        assert dns.grid.axes["copies"] == list(range(1, 11))
+
+        ec2 = get_scenario("paper-database-ec2")
+        assert ec2.base_params["variant"] == "ec2"
+        assert ec2.grid.axes["copies"] == [1, 2]
+
+    def test_every_database_variant_has_a_standard_scenario(self):
+        for variant in (
+            "base", "small-files", "pareto-files", "small-cache",
+            "ec2", "large-files", "all-cached",
+        ):
+            scenario = get_scenario(f"database-{variant}")
+            assert scenario.entry_point == "database"
+            assert scenario.base_params["variant"] == variant.replace("-", "_")
+
+    def test_figure_4_and_13_scenarios_registered(self):
+        overhead = get_scenario("queueing-overhead")
+        assert "client_overhead" in overhead.grid.axes
+        stub = get_scenario("memcached-stub")
+        assert stub.grid.axes["stub"] == [False, True]
+
+
 class TestRegistry:
     def test_at_least_six_substrate_scenarios_registered(self):
         names = scenario_names()
@@ -285,6 +335,12 @@ class TestCli:
         assert cli_main(["list"]) == 0
         out = capsys.readouterr().out
         assert "queueing-smoke" in out and "database-base" in out
+        assert "paper-fattree-k6" in out and "tier" in out
+
+    def test_list_filters_by_tier(self, capsys):
+        assert cli_main(["list", "--tier", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-dns-matrix" in out and "queueing-smoke" not in out
 
     def test_show_describes_scenario(self, capsys):
         assert cli_main(["show", "queueing-smoke"]) == 0

@@ -1,0 +1,218 @@
+"""Resume semantics of the streaming (JSONL) sweep artifact.
+
+The contract under test: a sweep streamed to ``--out x.jsonl``, killed at any
+byte, and finished with ``--resume`` — possibly with a different worker count
+or chunk size — produces an artifact **byte-identical** to an uninterrupted
+run, and re-executes only the points the partial artifact was missing.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.experiments.runner as runner_module
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ParameterGrid,
+    Scenario,
+    SweepResult,
+    SweepRunner,
+    load_partial,
+)
+from repro.experiments.cli import main as cli_main
+
+LOADS = [0.05, 0.1, 0.15, 0.2]
+
+
+def tiny_scenario(seed: int = 7) -> Scenario:
+    return Scenario(
+        name="resume-tiny",
+        entry_point="queueing_paired",
+        description="tiny resumable sweep",
+        base_params={"distribution": "exponential", "copies": 2, "num_requests": 400},
+        grid=ParameterGrid({"load": LOADS}),
+        seed=seed,
+    )
+
+
+@pytest.fixture()
+def full_artifact(tmp_path):
+    """An uninterrupted streamed run: (path of a pristine copy, its bytes)."""
+    path = str(tmp_path / "full.jsonl")
+    SweepRunner(workers=1).run(tiny_scenario(), out=path)
+    with open(path, "rb") as handle:
+        return path, handle.read()
+
+
+class TestStreaming:
+    def test_artifact_is_header_plus_points_in_grid_order(self, full_artifact):
+        _path, data = full_artifact
+        lines = data.decode().splitlines()
+        assert len(lines) == 1 + len(LOADS)
+        header = json.loads(lines[0])
+        assert header["kind"] == "header"
+        assert header["schema"] == "repro.experiments.sweep-stream/1"
+        assert header["num_points"] == len(LOADS)
+        indices = [json.loads(line)["index"] for line in lines[1:]]
+        assert indices == list(range(len(LOADS)))
+
+    def test_from_jsonl_round_trips_to_jsonl(self, full_artifact):
+        path, data = full_artifact
+        result = SweepResult.from_jsonl(path)
+        assert result.to_jsonl().encode() == data
+        assert [p.params["load"] for p in result.points] == LOADS
+
+    def test_streamed_bytes_equal_converted_sweep(self, tmp_path):
+        scenario = tiny_scenario()
+        streamed = str(tmp_path / "streamed.jsonl")
+        result = SweepRunner(workers=1).run(scenario, out=streamed)
+        assert result.to_jsonl() == open(streamed).read()
+
+    def test_chunk_size_never_changes_bytes(self, tmp_path, full_artifact):
+        _path, data = full_artifact
+        for chunk_size in (1, 3):
+            path = str(tmp_path / f"chunk{chunk_size}.jsonl")
+            SweepRunner(workers=1, chunk_size=chunk_size).run(tiny_scenario(), out=path)
+            assert open(path, "rb").read() == data
+
+    def test_progress_reports_cached_prefix_then_chunks(self, tmp_path):
+        calls = []
+        SweepRunner(workers=1, chunk_size=2).run(
+            tiny_scenario(),
+            out=str(tmp_path / "p.jsonl"),
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(0, 4), (2, 4), (4, 4)]
+
+
+class TestResume:
+    @pytest.mark.parametrize("cut", ["after_header", "mid_point_line", "two_points"])
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_killed_run_resumes_to_identical_bytes(self, tmp_path, full_artifact, cut, workers):
+        _path, data = full_artifact
+        lines = data.decode().splitlines(keepends=True)
+        if cut == "after_header":
+            partial = lines[0]
+        elif cut == "mid_point_line":
+            partial = lines[0] + lines[1] + lines[2][: len(lines[2]) // 2]
+        else:
+            partial = lines[0] + lines[1] + lines[2]
+        path = str(tmp_path / "resumed.jsonl")
+        with open(path, "w") as handle:
+            handle.write(partial)
+        SweepRunner(workers=workers).run(tiny_scenario(), out=path, resume=True)
+        assert open(path, "rb").read() == data
+
+    def test_resume_executes_only_missing_points(self, tmp_path, full_artifact, monkeypatch):
+        _path, data = full_artifact
+        lines = data.decode().splitlines(keepends=True)
+        path = str(tmp_path / "resumed.jsonl")
+        with open(path, "w") as handle:
+            handle.write("".join(lines[:3]))  # header + 2 completed points
+        executed = []
+        real = runner_module._execute_point
+
+        def counting(work):
+            executed.append(work[3])
+            return real(work)
+
+        monkeypatch.setattr(runner_module, "_execute_point", counting)
+        SweepRunner(workers=1).run(tiny_scenario(), out=path, resume=True)
+        assert executed == [2, 3]
+        assert open(path, "rb").read() == data
+
+    def test_resume_of_complete_artifact_executes_nothing(self, full_artifact, monkeypatch):
+        path, data = full_artifact
+
+        def boom(_work):
+            raise AssertionError("no point should execute")
+
+        monkeypatch.setattr(runner_module, "_execute_point", boom)
+        result = SweepRunner(workers=1).run(tiny_scenario(), out=path, resume=True)
+        assert open(path, "rb").read() == data
+        assert all(p.ok for p in result.points)
+
+    def test_resume_missing_file_is_a_fresh_run(self, tmp_path, full_artifact):
+        _path, data = full_artifact
+        path = str(tmp_path / "never-written.jsonl")
+        SweepRunner(workers=1).run(tiny_scenario(), out=path, resume=True)
+        assert open(path, "rb").read() == data
+
+    def test_resume_requires_an_output_path(self):
+        with pytest.raises(ConfigurationError, match="resume"):
+            SweepRunner(workers=1).run(tiny_scenario(), resume=True)
+
+    def test_resume_rejects_an_artifact_of_a_different_sweep(self, tmp_path):
+        path = str(tmp_path / "seed1.jsonl")
+        SweepRunner(workers=1).run(tiny_scenario(seed=1), out=path)
+        with pytest.raises(ConfigurationError, match="cannot resume"):
+            SweepRunner(workers=1).run(tiny_scenario(seed=2), out=path, resume=True)
+
+    def test_foreign_point_records_rejected_on_load(self, tmp_path, full_artifact):
+        # `cat a.jsonl b.jsonl` style merges are not a valid artifact: surplus
+        # records whose indices don't match the header must not load.
+        _path, data = full_artifact
+        lines = data.decode().splitlines(keepends=True)
+        foreign = json.loads(lines[1])
+        foreign["seed"] += 1
+        foreign["index"] = 9
+        path = str(tmp_path / "cat.jsonl")
+        with open(path, "w") as handle:
+            handle.write("".join(lines))
+            handle.write(json.dumps(foreign, sort_keys=True, separators=(",", ":")) + "\n")
+        with pytest.raises(ConfigurationError, match="concatenated or"):
+            SweepResult.from_jsonl(path)
+
+    def test_corrupt_middle_line_is_rejected_not_guessed(self, tmp_path, full_artifact):
+        _path, data = full_artifact
+        lines = data.decode().splitlines(keepends=True)
+        path = str(tmp_path / "corrupt.jsonl")
+        with open(path, "w") as handle:
+            handle.write(lines[0] + "{not json}\n" + lines[2])
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_partial(path)
+
+    def test_unterminated_final_line_is_discarded_and_resumed(self, tmp_path, full_artifact):
+        # A kill can land exactly between a record's JSON and its newline; the
+        # unterminated line is treated as in-flight, discarded, and re-executed.
+        _path, data = full_artifact
+        path = str(tmp_path / "noeol.jsonl")
+        with open(path, "wb") as handle:
+            handle.write(data.rstrip(b"\n"))
+        _header, points = load_partial(path)
+        assert len(points) == len(LOADS) - 1
+        SweepRunner(workers=1).run(tiny_scenario(), out=path, resume=True)
+        assert open(path, "rb").read() == data
+
+
+class TestResumeCli:
+    def test_cli_kill_and_resume_round_trip(self, tmp_path):
+        args = ["run", "resume-cli", "--set", "num_requests=400"]
+        # Register the tiny scenario under a CLI-visible name.
+        from repro.experiments import register_scenario
+        import dataclasses
+
+        register_scenario(
+            dataclasses.replace(tiny_scenario(), name="resume-cli"), replace=True
+        )
+        full = str(tmp_path / "full.jsonl")
+        assert cli_main(args + ["--out", full, "--quiet"]) == 0
+        reference = open(full, "rb").read()
+
+        resumed = str(tmp_path / "resumed.jsonl")
+        with open(resumed, "wb") as handle:
+            handle.write(reference[: len(reference) // 2])
+        assert cli_main(args + ["--out", resumed, "--resume", "--workers", "2", "--quiet"]) == 0
+        assert open(resumed, "rb").read() == reference
+
+    def test_cli_resume_requires_jsonl_out(self, tmp_path, capsys):
+        code = cli_main([
+            "run", "queueing-smoke", "--resume",
+            "--out", str(tmp_path / "x.json"), "--quiet",
+        ])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_cli_rejects_bad_chunk_size(self, capsys):
+        assert cli_main(["run", "queueing-smoke", "--chunk-size", "0", "--quiet"]) == 2
