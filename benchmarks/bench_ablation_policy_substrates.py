@@ -1,0 +1,100 @@
+"""Ablation: the policy axis end-to-end — eager vs deferred on real substrates.
+
+``bench_ablation_hedge_delay`` quantifies the eager-vs-hedged trade-off on
+raw response-time samples; this benchmark runs the same ablation through the
+first-class replication API (``policy=`` on the substrate simulators), so
+hedged backups queue, suppress and cancel exactly as the protocol dictates:
+
+* the Section 2.1 queueing model above the eager threshold, where eager
+  duplication *hurts* the mean but the adaptive p95 hedge degrades
+  gracefully to the baseline;
+* the Section 3.2 DNS model, where the fixed 50 ms hedge keeps most of the
+  eager tail reduction at a fraction of the extra queries.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ResultTable
+from repro.distributions.standard import Exponential
+from repro.queueing import ReplicatedQueueingModel
+from repro.wan import DnsExperiment, DnsExperimentConfig
+
+POLICIES = ["none", "k2", "hedge:500ms", "hedge:p95"]
+QUEUEING_LOAD = 0.4  # above the exponential threshold of 1/3: eager hurts here
+REQUESTS = 20_000
+
+
+def test_queueing_policy_axis_above_threshold(benchmark):
+    def compute():
+        rows = {}
+        for spec in POLICIES:
+            result = ReplicatedQueueingModel(
+                Exponential(1.0), policy=spec, seed=5
+            ).run_fast(QUEUEING_LOAD, num_requests=REQUESTS)
+            rows[spec] = (
+                result.mean,
+                result.summary.p99,
+                result.copies_launched / REQUESTS,
+            )
+        return rows
+
+    rows = run_once(benchmark, compute)
+    table = ResultTable(
+        ["policy", "mean", "p99", "copies/request"],
+        title=f"Queueing policy ablation at load {QUEUEING_LOAD} (above threshold)",
+    )
+    for spec, (mean, p99, copies) in rows.items():
+        table.add_row(**{
+            "policy": spec,
+            "mean": round(mean, 4),
+            "p99": round(p99, 3),
+            "copies/request": round(copies, 3),
+        })
+    print("\n" + table.to_text())
+
+    # Above the threshold the paper's eager scheme increases the mean ...
+    assert rows["k2"][0] > rows["none"][0]
+    # ... the adaptive hedge stays within a few percent of the baseline ...
+    assert rows["hedge:p95"][0] < 1.1 * rows["none"][0]
+    # ... and hedging launches strictly fewer copies than eager duplication.
+    assert rows["none"][2] == 1.0
+    assert 1.0 < rows["hedge:p95"][2] < rows["k2"][2] == 2.0
+
+
+def test_dns_policy_axis_cost_effectiveness(benchmark):
+    config = DnsExperimentConfig(
+        num_vantage_points=4,
+        stage1_queries_per_server=150,
+        stage2_queries_per_config=1_000,
+        seed=9,
+    )
+    experiment = DnsExperiment(config)
+
+    def compute():
+        return {
+            spec: experiment.run_policy(spec)
+            for spec in ("none", "k2", "hedge:50ms")
+        }
+
+    results = run_once(benchmark, compute)
+    table = ResultTable(
+        ["policy", "mean (ms)", "p99 red. %", "queries/trial"],
+        title="DNS policy ablation (first-class hedged querying)",
+    )
+    for spec, result in results.items():
+        table.add_row(**{
+            "policy": spec,
+            "mean (ms)": round(result.summary().mean * 1000, 1),
+            "p99 red. %": round(result.reduction_percent["p99"], 1),
+            "queries/trial": round(result.mean_queries_per_trial, 3),
+        })
+    print("\n" + table.to_text())
+
+    eager, hedged = results["k2"], results["hedge:50ms"]
+    # Eager pays 2 queries per trial; the hedge pays well under 2 ...
+    assert eager.mean_queries_per_trial == 2.0
+    assert hedged.mean_queries_per_trial < 1.7
+    # ... while keeping the bulk of the eager p99 reduction.
+    assert hedged.reduction_percent["p99"] > 0.6 * eager.reduction_percent["p99"]
+    # And both improve on the best single server.
+    assert hedged.summary().mean < results["none"].summary().mean

@@ -87,7 +87,7 @@ def split_args(command: str) -> List[str]:
 #: Flags of the experiments CLI that consume a value token.
 VALUE_FLAGS = {
     "--workers", "--chunk-size", "--out", "--csv", "--seed", "--set",
-    "--columns", "--keys", "--labels", "--tier",
+    "--columns", "--keys", "--labels", "--tier", "--fail-threshold",
 }
 
 

@@ -64,9 +64,13 @@ from repro.metrics import (
 )
 from repro.core.policy import (
     HedgeAfterDelay,
+    HedgeOnPercentile,
     KCopies,
     NoReplication,
     ReplicationPolicy,
+    RequestPlan,
+    parse_policy,
+    policy_to_spec,
 )
 from repro.core.hedging import RedundantClient, first_completed, hedged_call
 from repro.core.thresholds import exponential_threshold_load, threshold_load_simulated
@@ -84,6 +88,10 @@ __all__ = [
     "NoReplication",
     "KCopies",
     "HedgeAfterDelay",
+    "HedgeOnPercentile",
+    "RequestPlan",
+    "parse_policy",
+    "policy_to_spec",
     "first_completed",
     "hedged_call",
     "RedundantClient",

@@ -11,6 +11,12 @@ The experiment driver reproduces the paper's configurations (Figures 5-11) via
 named constructors on :class:`DatabaseClusterConfig` and reports the same
 quantities the figures plot: mean and 99.9th-percentile response time versus
 load, and the response-time CDF at 20% load.
+
+Replication is expressed as a :class:`~repro.core.policy.ReplicationPolicy`:
+``run(load, policy="hedge:10ms")`` defers the secondary read until the primary
+has been outstanding for 10 ms, while ``copies=k`` (the paper's eager scheme)
+stays supported as sugar for ``policy="k<N>"`` and routes through the original
+code path byte-for-byte.
 """
 
 from __future__ import annotations
@@ -22,6 +28,12 @@ import numpy as np
 
 from repro.analysis.stats import LatencySummary
 from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.core.policy import (
+    PolicyLike,
+    resolve_run_policy,
+    run_policy_spec,
+    simulate_hedged_arrivals,
+)
 from repro.metrics import MetricsRegistry
 from repro.cluster.disk import DiskModel
 from repro.cluster.storage_server import StorageServerModel
@@ -192,6 +204,11 @@ class DatabaseRunResult:
         metrics: Snapshot of the run's metrics registry (``requests``,
             ``cache_hits``, ``cache_misses`` counters and the ``latency``
             summary row).
+        policy_spec: Canonical spec of the replication policy used (``None``
+            for policies the spec language cannot express).
+        copies_launched: Total reads actually dispatched (warmup included);
+            smaller than ``copies * num_requests`` under hedging because
+            suppressed backups never launch.
     """
 
     load: float
@@ -200,6 +217,8 @@ class DatabaseRunResult:
     summary: LatencySummary
     cache_hit_ratio: float
     metrics: Optional[Dict[str, object]] = None
+    policy_spec: Optional[str] = None
+    copies_launched: Optional[int] = None
 
     @property
     def mean(self) -> float:
@@ -288,17 +307,26 @@ class DatabaseClusterExperiment:
         copies: Optional[int] = None,
         num_requests: int = 40_000,
         warmup_fraction: float = 0.2,
+        policy: Optional[PolicyLike] = None,
     ) -> DatabaseRunResult:
         """Simulate the cluster at one load.
 
         Args:
             load: Offered load as a fraction of unreplicated capacity, in
-                ``(0, 1)``; with ``copies`` copies the bottleneck utilisation
-                is roughly ``copies * load``, so replicated runs are only
-                stable below ``1 / copies``.
-            copies: Copies per request (defaults to the config's value).
+                ``(0, 1)``; with ``copies`` eager copies the bottleneck
+                utilisation is roughly ``copies * load``, so replicated runs
+                are only stable below ``1 / copies``.
+            copies: Eager copies per request (defaults to the config's value);
+                mutually exclusive with ``policy``.
             num_requests: Number of client requests to simulate.
             warmup_fraction: Leading fraction of requests discarded.
+            policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+                string (``"none"``, ``"k2"``, ``"hedge:10ms"``,
+                ``"hedge:p95"``).  Eager policies route through the original
+                ``copies`` code path byte-for-byte; hedging policies defer
+                the secondary read and suppress it when the primary answered
+                first, charging client overhead only for responses actually
+                processed.
 
         Returns:
             A :class:`DatabaseRunResult`.
@@ -307,12 +335,19 @@ class DatabaseClusterExperiment:
             CapacityError: If the replicated load would saturate the disks.
         """
         config = self.config
-        k = config.copies if copies is None else int(copies)
+        hedged, k = resolve_run_policy(policy, copies, default_copies=config.copies)
         if not 1 <= k <= config.num_servers:
             raise ConfigurationError(f"copies must be in [1, {config.num_servers}], got {k!r}")
         if load <= 0:
             raise ConfigurationError(f"load must be positive, got {load!r}")
-        effective_load = load * k * config.expected_service_time(k) / config.expected_service_time(1)
+        if hedged is None:
+            effective_load = (
+                load * k * config.expected_service_time(k) / config.expected_service_time(1)
+            )
+        else:
+            # Hedged backups launch only for slow requests, so only the
+            # unconditional baseline utilisation can be rejected up front.
+            effective_load = load
         if effective_load >= 0.98:
             raise CapacityError(
                 f"load {load:.2f} with {k} copies gives bottleneck utilisation "
@@ -335,22 +370,39 @@ class DatabaseClusterExperiment:
         servers = self._build_servers(run_seed=(k, hash(round(load, 6)) & 0xFFFF))
         self._warm_caches(servers, k)
 
-        overhead = config.client_overhead_per_extra_copy() * (k - 1)
-        response = np.empty(num_requests)
+        overhead_unit = config.client_overhead_per_extra_copy()
         num_servers = config.num_servers
-        for i in range(num_requests):
-            arrival = arrival_times[i]
-            file_id = int(file_ids[i])
-            size = float(sizes[i])
-            best = np.inf
-            primary = int(primaries[i])
-            for offset in range(k):
-                server = servers[(primary + offset) % num_servers]
-                completion, _hit = server.serve(arrival, file_id, size)
-                elapsed = completion - arrival
-                if elapsed < best:
-                    best = elapsed
-            response[i] = best + overhead
+        if hedged is None:
+            overhead = overhead_unit * (k - 1)
+            response = np.empty(num_requests)
+            for i in range(num_requests):
+                arrival = arrival_times[i]
+                file_id = int(file_ids[i])
+                size = float(sizes[i])
+                best = np.inf
+                primary = int(primaries[i])
+                for offset in range(k):
+                    server = servers[(primary + offset) % num_servers]
+                    completion, _hit = server.serve(arrival, file_id, size)
+                    elapsed = completion - arrival
+                    if elapsed < best:
+                        best = elapsed
+                response[i] = best + overhead
+            total_launched = num_requests * k
+        else:
+
+            def launch(request: int, copy: int, at: float) -> float:
+                server = servers[(int(primaries[request]) + copy) % num_servers]
+                completion, _hit = server.serve(
+                    at, int(file_ids[request]), float(sizes[request])
+                )
+                return completion
+
+            finish_at, launched = simulate_hedged_arrivals(
+                hedged, arrival_times, k, launch
+            )
+            response = (finish_at - arrival_times) + overhead_unit * (launched - 1)
+            total_launched = int(launched.sum())
 
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
@@ -358,7 +410,7 @@ class DatabaseClusterExperiment:
         misses = sum(s.cache.misses for s in servers)
         registry = MetricsRegistry("database")
         registry.counter("requests").increment(num_requests)
-        registry.counter("copies_launched").increment(num_requests * k)
+        registry.counter("copies_launched").increment(total_launched)
         registry.counter("cache_hits").increment(hits)
         registry.counter("cache_misses").increment(misses)
         recorder = registry.recorder("latency")
@@ -371,6 +423,8 @@ class DatabaseClusterExperiment:
             summary=recorder.summary(),
             cache_hit_ratio=hits / accesses if accesses else 0.0,
             metrics=registry.snapshot(),
+            policy_spec=run_policy_spec(hedged, k),
+            copies_launched=total_launched,
         )
 
     def sweep(

@@ -23,6 +23,13 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
+from repro.core.policy import (
+    PolicyDriver,
+    PolicyLike,
+    resolve_run_policy,
+    run_policy_spec,
+    simulate_hedged_arrivals,
+)
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.metrics import MetricsRegistry
 from repro.sim.rng import substream
@@ -111,6 +118,11 @@ class MemcachedRunResult:
         summary: Latency summary of ``response_times``.
         metrics: Snapshot of the run's metrics registry (``requests`` and
             ``copies_launched`` counters and the ``latency`` summary row).
+        policy_spec: Canonical spec of the replication policy used (``None``
+            for policies the spec language cannot express).
+        copies_launched: Total copies actually issued (warmup included);
+            under hedging, backups suppressed by a fast first response never
+            launch.
     """
 
     load: float
@@ -119,6 +131,8 @@ class MemcachedRunResult:
     response_times: np.ndarray
     summary: LatencySummary
     metrics: Optional[Dict[str, object]] = None
+    policy_spec: Optional[str] = None
+    copies_launched: Optional[int] = None
 
     @property
     def mean(self) -> float:
@@ -149,27 +163,38 @@ class MemcachedExperiment:
         stub: bool = False,
         num_requests: int = 50_000,
         warmup_fraction: float = 0.1,
+        policy: Optional[PolicyLike] = None,
     ) -> MemcachedRunResult:
         """Simulate the memcached cluster at one load.
 
         Args:
             load: Offered load as a fraction of unreplicated capacity.
-            copies: Copies per request (defaults to the config's value).
+            copies: Eager copies per request (defaults to the config's value);
+                mutually exclusive with ``policy``.
             stub: Run the stub build: server calls return immediately, so the
                 response time is pure client-side processing (Figure 13).
             num_requests: Requests to simulate.
             warmup_fraction: Leading fraction of requests discarded.
+            policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+                string.  Eager policies take the original ``copies`` path
+                byte-for-byte.  Under hedging, a backup GET launches only if
+                the first response is still outstanding after the hedge delay
+                — in the stub build the call returns in tens of microseconds,
+                so hedged backups are almost always suppressed and the run
+                isolates how little of the stub overhead a hedging client
+                would actually pay.
 
         Raises:
-            CapacityError: If ``copies * load`` saturates the servers.
+            CapacityError: If the offered load saturates the servers.
         """
         config = self.config
-        k = config.copies if copies is None else int(copies)
+        hedged, k = resolve_run_policy(policy, copies, default_copies=config.copies)
         if not 1 <= k <= config.num_servers:
             raise ConfigurationError(f"copies must be in [1, {config.num_servers}], got {k!r}")
         if load <= 0:
             raise ConfigurationError(f"load must be positive, got {load!r}")
-        if not stub and k * load >= 0.98:
+        eager_util = load if hedged is not None else k * load
+        if not stub and eager_util >= 0.98:
             raise CapacityError(
                 f"load {load:.2f} with {k} copies saturates the servers"
             )
@@ -182,16 +207,31 @@ class MemcachedExperiment:
         total_rate = config.num_servers * load / mean_service
         arrival_times = np.cumsum(arrivals_rng.exponential(1.0 / total_rate, num_requests))
 
-        client_time = config.client_base_s + config.client_extra_copy_s * (k - 1)
-        if not stub:
-            client_time += config.unmeasured_extra_copy_s * (k - 1)
+        stub_extra_s = config.client_extra_copy_s
+        real_extra_s = config.client_extra_copy_s + config.unmeasured_extra_copy_s
+        client_time = config.client_base_s + (stub_extra_s if stub else real_extra_s) * (k - 1)
 
         if stub:
             # Stub build: the memcached call is a no-op, so the response time
             # is client processing only (plus its own small jitter).
             jitter = service_rng.uniform(0.8, 1.2, num_requests)
-            response = client_time * jitter
-        else:
+            if hedged is None:
+                response = client_time * jitter
+                total_launched = num_requests * k
+            else:
+                driver = PolicyDriver(hedged)
+                response = np.empty(num_requests)
+                total_launched = 0
+                base = config.client_base_s
+                for i in range(num_requests):
+                    plan = driver.plan_for(arrival_times[i])
+                    first = base * jitter[i]
+                    extras = sum(1 for d in plan.launch_delays[1:k] if d < first)
+                    value = (base + stub_extra_s * extras) * jitter[i]
+                    response[i] = value
+                    total_launched += 1 + extras
+                    driver.complete(arrival_times[i] + value, value)
+        elif hedged is None:
             service_times = self._sample_service(service_rng, num_requests * k).reshape(
                 num_requests, k
             )
@@ -210,12 +250,36 @@ class MemcachedExperiment:
                     if elapsed < best:
                         best = elapsed
                 response[i] = best + client_time
+            total_launched = num_requests * k
+        else:
+            service_times = self._sample_service(service_rng, num_requests * k).reshape(
+                num_requests, k
+            )
+            placements = self._choose_servers(placement_rng, num_requests, k)
+            free_at = np.zeros(config.num_servers)
+
+            def launch(request: int, copy: int, at: float) -> float:
+                server = placements[request, copy]
+                start = free_at[server] if free_at[server] > at else at
+                finish = start + service_times[request, copy]
+                free_at[server] = finish
+                return finish
+
+            finish_at, launched_arr = simulate_hedged_arrivals(
+                hedged, arrival_times, k, launch
+            )
+            response = (
+                (finish_at - arrival_times)
+                + config.client_base_s
+                + real_extra_s * (launched_arr - 1)
+            )
+            total_launched = int(launched_arr.sum())
 
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
         registry = MetricsRegistry("memcached")
         registry.counter("requests").increment(num_requests)
-        registry.counter("copies_launched").increment(num_requests * k)
+        registry.counter("copies_launched").increment(total_launched)
         recorder = registry.recorder("latency")
         recorder.record_many(retained)
         return MemcachedRunResult(
@@ -225,6 +289,8 @@ class MemcachedExperiment:
             response_times=retained,
             summary=recorder.summary(),
             metrics=registry.snapshot(),
+            policy_spec=run_policy_spec(hedged, k),
+            copies_launched=total_launched,
         )
 
     def _choose_servers(

@@ -21,7 +21,13 @@ from repro.core.policy import (
     HedgeOnPercentile,
     KCopies,
     NoReplication,
+    PolicyDriver,
     ReplicationPolicy,
+    RequestPlan,
+    canonical_policy_spec,
+    parse_policy,
+    policy_to_spec,
+    resolve_policy,
 )
 from repro.core.hedging import (
     HedgedResult,
@@ -56,6 +62,12 @@ __all__ = [
     "KCopies",
     "HedgeAfterDelay",
     "HedgeOnPercentile",
+    "RequestPlan",
+    "PolicyDriver",
+    "parse_policy",
+    "policy_to_spec",
+    "canonical_policy_spec",
+    "resolve_policy",
     "first_completed",
     "hedged_call",
     "HedgedResult",

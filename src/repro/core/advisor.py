@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.costbenefit import DEFAULT_BREAK_EVEN_MS_PER_KB, CostBenefitAnalysis
+from repro.core.policy import PolicyLike, eager_copies, parse_policy, policy_to_spec
 from repro.core.thresholds import threshold_load_simulated
 from repro.distributions.base import Distribution
 from repro.exceptions import ConfigurationError
@@ -61,6 +62,7 @@ def advise_replication(
     threshold: Optional[float] = None,
     num_requests: int = 30_000,
     seed: int = 0,
+    policy: Optional[PolicyLike] = None,
 ) -> ReplicationAdvice:
     """Advise whether to replicate requests to a service.
 
@@ -68,7 +70,8 @@ def advise_replication(
         service: Service-time distribution of the backend (measured or
             assumed).
         load: Current per-server utilisation in ``[0, 1)``.
-        copies: Proposed replication factor.
+        copies: Proposed eager replication factor (ignored when ``policy`` is
+            given).
         client_overhead: Client-side cost per replicated request, same unit as
             the service times.
         extra_bytes_per_request: Extra traffic per request if replicated
@@ -80,6 +83,11 @@ def advise_replication(
             threshold search).
         num_requests: Simulation size for the threshold estimate.
         seed: Seed for the threshold simulation.
+        policy: Evaluate a specific :class:`~repro.core.policy.ReplicationPolicy`
+            (or spec string such as ``"hedge:p95"``) instead of eager
+            ``copies``-way replication; the threshold simulation then measures
+            that policy's benefit, and the saturation guards use the policy's
+            worst-case utilisation only when it launches copies eagerly.
 
     Returns:
         A :class:`ReplicationAdvice`.
@@ -94,24 +102,49 @@ def advise_replication(
         raise ConfigurationError(
             "provide both extra_bytes_per_request and expected_latency_saving_ms, or neither"
         )
+    resolved = None
+    threshold_policy: Optional[PolicyLike] = None
+    if policy is not None:
+        resolved = parse_policy(policy)
+        copies = int(resolved.max_copies)
+        # Hand the threshold search a *spec* whenever the policy has one, so
+        # each bisection probe re-parses it and starts from fresh adaptive
+        # state (a shared HedgeOnPercentile object would carry its latency
+        # window across probed loads and contaminate the estimate).
+        try:
+            threshold_policy = policy_to_spec(resolved)
+        except ConfigurationError:
+            threshold_policy = resolved
 
     mean_service = service.mean()
     overhead_fraction = client_overhead / mean_service if mean_service > 0 else 0.0
     reasons: List[str] = []
+    if resolved is not None:
+        spec = (
+            threshold_policy
+            if isinstance(threshold_policy, str)
+            else type(resolved).__name__
+        )
+        reasons.append(f"evaluating replication policy {spec!r}")
 
+    # Hedging launches backups only for slow requests, so only an eager
+    # policy's worst-case utilisation can be rejected up front.
+    saturating_copies = copies if resolved is None or eager_copies(resolved) else 1
     if threshold is None:
-        if copies * load >= 0.98:
+        if saturating_copies * load >= 0.98:
             threshold = 0.0
             reasons.append(
-                f"replicated utilisation {copies * load:.2f} would saturate the system"
+                f"replicated utilisation {saturating_copies * load:.2f} would "
+                "saturate the system"
             )
         else:
             threshold = threshold_load_simulated(
                 service,
-                copies=copies,
+                copies=None if resolved is not None else copies,
                 client_overhead=client_overhead,
                 num_requests=num_requests,
                 seed=seed,
+                policy=threshold_policy,
             )
             reasons.append(
                 f"threshold load estimated by simulation: {threshold:.1%} "
@@ -135,7 +168,7 @@ def advise_replication(
     # Tail latency benefits persist as long as the per-copy overhead does not
     # dominate the latency budget; the paper's memcached case (overhead ~9% of
     # a ~0.2 ms service time at 10%+ load) is the canonical failure.
-    replicate_for_tail = overhead_fraction < 1.0 and copies * load < 0.9
+    replicate_for_tail = overhead_fraction < 1.0 and saturating_copies * load < 0.9
     if replicate_for_tail:
         reasons.append("tail latency should improve: overhead is below the mean service time")
     else:

@@ -6,6 +6,14 @@ code.  Copies are launched according to a :class:`~repro.core.policy.Replication
 (eagerly, or hedged after a delay), the first successful completion wins, and
 the losing copies are cancelled.
 
+This is the *live* (asyncio) executor of the shared policy currency; the same
+policies drive every simulator substrate and the scenario-sweep ``policy``
+axis — see the :mod:`repro.core.policy` module docstring for the full list of
+consumers.  One executor-specific caveat: here loser cancellation is
+controlled by the ``cancel_losers`` argument (default on, Google-style)
+rather than by the policy's ``cancel_on_win`` flag, which the event-driven
+simulators honour.
+
 The functions are transport-agnostic: a "backend" is any zero-argument
 callable returning an awaitable, so the same client wraps DNS lookups, HTTP
 fetches, database reads or anything else.

@@ -1,29 +1,112 @@
-"""Replication and hedging policies.
+"""Replication and hedging policies — the one currency for "how is this request replicated".
 
 A policy answers one question: *for this request, how many copies should be
-issued, and after what delays?*  The answer is a list of launch delays in
-seconds — ``[0.0]`` means a single un-replicated request, ``[0.0, 0.0]`` means
-the paper's eager 2-copy replication, ``[0.0, 0.010]`` means a hedge fired
-after 10 ms (Dean & Barroso's "hedged request", discussed in the paper's
-related work as a variant that trades a little mean improvement for much less
-added load).
+issued, and after what delays?*  The answer is a :class:`RequestPlan` — a
+launch-delay schedule plus cancellation semantics.  ``(0.0,)`` means a single
+un-replicated request, ``(0.0, 0.0)`` means the paper's eager 2-copy
+replication, ``(0.0, 0.010)`` means a hedge fired after 10 ms (Dean &
+Barroso's "hedged request", discussed in the paper's related work as a variant
+that trades a little mean improvement for much less added load).
 
-Policies are shared between the asyncio executor (:mod:`repro.core.hedging`)
-and the simulators, which is what makes ablation experiments (eager vs
-deferred hedging) a one-line change.
+Policies are consumed by every executor in the repository:
+
+* the asyncio executor (:mod:`repro.core.hedging` — ``hedged_call`` and
+  :class:`~repro.core.hedging.RedundantClient`);
+* all five simulator substrates — the Section 2.1 queueing model
+  (:class:`repro.queueing.ReplicatedQueueingModel`), the Section 2.2/2.3
+  cluster experiments (:class:`repro.cluster.DatabaseClusterExperiment`,
+  :class:`repro.cluster.MemcachedExperiment`), the Section 2.4 fat-tree
+  network (via :meth:`repro.network.replication.ReplicationConfig.from_policy`)
+  and the Section 3 wide-area models (:class:`repro.wan.DnsExperiment`,
+  :class:`repro.wan.HandshakeModel`);
+* the threshold search and advisor (:mod:`repro.core.thresholds`,
+  :mod:`repro.core.advisor`);
+* the scenario-sweep subsystem (:mod:`repro.experiments`), where policies
+  appear as **spec strings** on a ``policy`` axis.
+
+That shared currency is what makes ablation experiments (eager vs deferred
+hedging) a one-line change anywhere.
+
+Policy specs
+------------
+
+A *policy spec* is a short, JSON/pickle-friendly string describing a policy,
+so policies can live in :class:`~repro.experiments.grid.ParameterGrid` axes,
+sweep artifacts and process-pool workers:
+
+====================  =====================================================
+spec                  policy
+====================  =====================================================
+``"none"``            :class:`NoReplication`
+``"k2"``, ``"k3"``    :class:`KCopies` (eager; the paper's scheme)
+``"hedge:10ms"``      :class:`HedgeAfterDelay` with a 10 ms hedge delay
+``"hedge:p95"``       :class:`HedgeOnPercentile` at the 95th percentile
+====================  =====================================================
+
+Hedge specs take optional ``:``-separated suffix segments: ``x<N>`` (number
+of backup copies), ``nocancel`` (do not cancel losers on win), and — for the
+percentile form — ``i<delay>`` (initial delay) and ``w<N>`` (window size).
+Delays are a number plus a unit (``us``, ``ms`` or ``s``; a bare number means
+seconds).  :func:`parse_policy` and :func:`policy_to_spec` round-trip every
+policy type; :func:`canonical_policy_spec` normalises a spec (e.g.
+``"hedge:0.01s"`` → ``"hedge:10ms"``) so equal policies share one spelling.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import List
+import heapq
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.metrics import SlidingWindow
 
 
+@dataclass(frozen=True)
+class RequestPlan:
+    """How one request is replicated: launch schedule + cancellation semantics.
+
+    Attributes:
+        launch_delays: Delays (seconds, relative to the request) at which to
+            launch copies; the first entry is always ``0.0`` (the original
+            request) and the length is the total number of copies.
+        cancel_on_win: Whether copies still outstanding when the first copy
+            completes should be cancelled (hedged requests) or left to run to
+            completion (the paper's eager scheme, where every copy is served
+            fully).
+    """
+
+    launch_delays: Tuple[float, ...]
+    cancel_on_win: bool = False
+
+    @property
+    def copies(self) -> int:
+        """Total number of copies (including the original)."""
+        return len(self.launch_delays)
+
+    @property
+    def is_eager(self) -> bool:
+        """Whether every copy is launched immediately (all delays zero)."""
+        return all(d == 0.0 for d in self.launch_delays)
+
+
 class ReplicationPolicy(abc.ABC):
     """Decides how many copies of a request to launch and when."""
+
+    #: Whether losing copies are cancelled once a winner completes.  Eager
+    #: policies default to ``False`` (the paper's model serves every copy to
+    #: completion); hedging policies default to ``True`` (Dean & Barroso's
+    #: "cancel outstanding requests").
+    cancel_on_win: bool = False
+
+    #: Whether :meth:`launch_delays` is a constant — ``False`` for adaptive
+    #: policies whose schedule depends on observed latencies.  Simulators use
+    #: this to decide between a vectorised single plan and per-request plans.
+    is_static: bool = True
 
     @abc.abstractmethod
     def launch_delays(self) -> List[float]:
@@ -32,6 +115,14 @@ class ReplicationPolicy(abc.ABC):
         The first entry is always 0.0 (the original request).  The length of
         the list is the total number of copies, including the original.
         """
+
+    def plan(self) -> RequestPlan:
+        """The per-request plan: launch schedule plus cancellation semantics.
+
+        Adaptive policies return a fresh plan per call (the schedule tracks
+        observed latencies); static policies return an equal plan every time.
+        """
+        return RequestPlan(tuple(self.launch_delays()), cancel_on_win=self.cancel_on_win)
 
     @property
     def max_copies(self) -> int:
@@ -75,15 +166,18 @@ class HedgeAfterDelay(ReplicationPolicy):
     fixed delay, so most requests (those that complete quickly) never incur
     the extra load.  Compared with eager :class:`KCopies` it adds far less
     utilisation but recovers less of the mean-latency benefit — the ablation
-    benchmark quantifies the difference.
+    scenarios quantify the difference.
     """
 
-    def __init__(self, delay: float, extra_copies: int = 1) -> None:
+    def __init__(self, delay: float, extra_copies: int = 1, cancel_on_win: bool = True) -> None:
         """Create a deferred-hedge policy.
 
         Args:
             delay: Seconds to wait before launching each backup copy (>= 0).
             extra_copies: Number of backup copies (>= 1).
+            cancel_on_win: Cancel outstanding copies once a winner completes
+                (honoured by executors that support cancellation — the asyncio
+                client and the event-driven simulators).
         """
         if delay < 0:
             raise ConfigurationError(f"delay must be >= 0, got {delay!r}")
@@ -93,6 +187,7 @@ class HedgeAfterDelay(ReplicationPolicy):
             )
         self.delay = float(delay)
         self.extra_copies = int(extra_copies)
+        self.cancel_on_win = bool(cancel_on_win)
 
     def launch_delays(self) -> List[float]:
         """``[0, delay, 2*delay, ...]`` — backups are staggered."""
@@ -109,12 +204,15 @@ class HedgeOnPercentile(ReplicationPolicy):
     ``initial_delay``.
     """
 
+    is_static = False
+
     def __init__(
         self,
         percentile: float = 95.0,
         initial_delay: float = 0.05,
         window: int = 1000,
         extra_copies: int = 1,
+        cancel_on_win: bool = True,
     ) -> None:
         """Create an adaptive hedge policy.
 
@@ -124,6 +222,7 @@ class HedgeOnPercentile(ReplicationPolicy):
             initial_delay: Hedge delay used before any latencies are recorded.
             window: Number of most recent latencies to keep.
             extra_copies: Number of backup copies.
+            cancel_on_win: Cancel outstanding copies once a winner completes.
         """
         if not 0.0 < percentile < 100.0:
             raise ConfigurationError(f"percentile must be in (0, 100), got {percentile!r}")
@@ -137,6 +236,7 @@ class HedgeOnPercentile(ReplicationPolicy):
         self.initial_delay = float(initial_delay)
         self.window = int(window)
         self.extra_copies = int(extra_copies)
+        self.cancel_on_win = bool(cancel_on_win)
         # Incrementally sorted window: percentile queries on the hot path
         # (one per request issued) are O(1) instead of an O(n log n) re-sort.
         self._window = SlidingWindow(self.window)
@@ -169,3 +269,382 @@ class HedgeOnPercentile(ReplicationPolicy):
         """``[0, d, 2d, ...]`` where ``d`` is the current percentile delay."""
         delay = self.current_delay()
         return [0.0] + [delay * (i + 1) for i in range(self.extra_copies)]
+
+
+# --------------------------------------------------------------------------- #
+# Policy specs: the serialisable mini-language
+# --------------------------------------------------------------------------- #
+
+#: What substrates accept wherever "a policy" is expected: a policy object, a
+#: spec string, or an integer copy count (sugar for :class:`KCopies`).
+PolicyLike = Union[ReplicationPolicy, str, int]
+
+_DELAY_RE = re.compile(r"^([0-9eE+.\-]+)(us|ms|s)?$")
+_DELAY_SCALES = {"us": 1e-6, "ms": 1e-3, "s": 1.0, None: 1.0}
+
+
+def _parse_delay(text: str, spec: str) -> float:
+    """Parse ``"10ms"`` / ``"0.5s"`` / ``"250us"`` / ``"0.01"`` into seconds."""
+    match = _DELAY_RE.match(text)
+    value: Optional[float] = None
+    if match:
+        try:
+            value = float(match.group(1)) * _DELAY_SCALES[match.group(2)]
+        except ValueError:
+            value = None
+    if value is None or value < 0:
+        raise ConfigurationError(
+            f"bad delay {text!r} in policy spec {spec!r}; expected a non-negative "
+            "number with an optional unit (us, ms, s), e.g. '10ms'"
+        )
+    return value
+
+
+def _format_delay(seconds: float) -> str:
+    """Render a delay in the largest unit that round-trips exactly."""
+    if seconds >= 1.0 or seconds == 0.0:
+        unit, scale = "s", 1.0
+    elif seconds >= 1e-3:
+        unit, scale = "ms", 1e-3
+    else:
+        unit, scale = "us", 1e-6
+    text = f"{seconds / scale:.12g}"
+    if float(text) * scale == seconds:
+        return f"{text}{unit}"
+    return f"{seconds!r}s"
+
+
+def _parse_int(text: str, spec: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ConfigurationError(f"bad {what} {text!r} in policy spec {spec!r}") from None
+
+
+def _parse_hedge(spec: str, body: List[str]) -> ReplicationPolicy:
+    """Parse the segments after ``hedge:`` into a hedge policy."""
+    if not body or not body[0]:
+        raise ConfigurationError(
+            f"policy spec {spec!r} needs a hedge trigger: a delay ('hedge:10ms') "
+            "or a percentile ('hedge:p95')"
+        )
+    head, extras = body[0], body[1:]
+    extra_copies = 1
+    cancel_on_win = True
+    initial_delay: Optional[float] = None
+    window: Optional[int] = None
+    for segment in extras:
+        if segment == "nocancel":
+            cancel_on_win = False
+        elif segment.startswith("x"):
+            extra_copies = _parse_int(segment[1:], spec, "extra-copies count")
+        elif segment.startswith("i"):
+            initial_delay = _parse_delay(segment[1:], spec)
+        elif segment.startswith("w"):
+            window = _parse_int(segment[1:], spec, "window size")
+        else:
+            raise ConfigurationError(
+                f"unknown segment {segment!r} in policy spec {spec!r}; known "
+                "segments: x<N> (extra copies), nocancel, i<delay>, w<N>"
+            )
+    if head.startswith("p"):
+        try:
+            percentile = float(head[1:])
+        except ValueError:
+            raise ConfigurationError(
+                f"bad percentile {head!r} in policy spec {spec!r}"
+            ) from None
+        kwargs = {}
+        if initial_delay is not None:
+            kwargs["initial_delay"] = initial_delay
+        if window is not None:
+            kwargs["window"] = window
+        return HedgeOnPercentile(
+            percentile, extra_copies=extra_copies, cancel_on_win=cancel_on_win, **kwargs
+        )
+    if initial_delay is not None or window is not None:
+        raise ConfigurationError(
+            f"policy spec {spec!r}: i<delay>/w<N> segments apply only to the "
+            "percentile form ('hedge:p95:...')"
+        )
+    return HedgeAfterDelay(
+        _parse_delay(head, spec), extra_copies=extra_copies, cancel_on_win=cancel_on_win
+    )
+
+
+def parse_policy(spec: PolicyLike) -> ReplicationPolicy:
+    """Turn a policy spec (or policy, or copy count) into a :class:`ReplicationPolicy`.
+
+    Accepts a :class:`ReplicationPolicy` (returned unchanged), an integer copy
+    count (sugar for :class:`KCopies`), or a spec string — see the module
+    docstring for the grammar.
+
+    Raises:
+        ConfigurationError: On a malformed spec or an unsupported type.
+    """
+    if isinstance(spec, ReplicationPolicy):
+        return spec
+    if isinstance(spec, bool):
+        raise ConfigurationError(f"cannot interpret {spec!r} as a replication policy")
+    if isinstance(spec, int):
+        return NoReplication() if spec == 1 else KCopies(spec)
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"expected a ReplicationPolicy, spec string or copy count, got {spec!r}"
+        )
+    text = spec.strip().lower()
+    if text == "none":
+        return NoReplication()
+    if re.fullmatch(r"k\d+", text):
+        copies = int(text[1:])
+        return NoReplication() if copies == 1 else KCopies(copies)
+    if text.startswith("hedge:"):
+        return _parse_hedge(spec, text[len("hedge:"):].split(":"))
+    raise ConfigurationError(
+        f"unknown policy spec {spec!r}; expected 'none', 'k<N>' (e.g. 'k2'), "
+        "'hedge:<delay>' (e.g. 'hedge:10ms') or 'hedge:p<P>' (e.g. 'hedge:p95')"
+    )
+
+
+def policy_to_spec(policy: ReplicationPolicy) -> str:
+    """The canonical spec string of ``policy`` (inverse of :func:`parse_policy`).
+
+    Only non-default segments are emitted, so the output is the shortest spec
+    that reconstructs the policy.
+
+    Raises:
+        ConfigurationError: For policy types the spec language cannot express
+            (custom subclasses included — a subclass may change behaviour the
+            spec could not reconstruct).
+    """
+    if type(policy) is HedgeOnPercentile:
+        parts = [f"hedge:p{policy.percentile:.12g}"]
+        if policy.initial_delay != 0.05:
+            parts.append(f"i{_format_delay(policy.initial_delay)}")
+        if policy.window != 1000:
+            parts.append(f"w{policy.window}")
+        if policy.extra_copies != 1:
+            parts.append(f"x{policy.extra_copies}")
+        if not policy.cancel_on_win:
+            parts.append("nocancel")
+        return ":".join(parts)
+    if type(policy) is HedgeAfterDelay:
+        parts = [f"hedge:{_format_delay(policy.delay)}"]
+        if policy.extra_copies != 1:
+            parts.append(f"x{policy.extra_copies}")
+        if not policy.cancel_on_win:
+            parts.append("nocancel")
+        return ":".join(parts)
+    if type(policy) is KCopies:
+        return f"k{policy.copies}"
+    if type(policy) is NoReplication:
+        return "none"
+    raise ConfigurationError(
+        f"policy {type(policy).__name__} has no spec representation; "
+        "pass the policy object directly instead of a spec"
+    )
+
+
+def canonical_policy_spec(spec: PolicyLike) -> str:
+    """Normalise a spec so equal policies share one spelling (``'hedge:0.01s'`` → ``'hedge:10ms'``)."""
+    return policy_to_spec(parse_policy(spec))
+
+
+def eager_copies(policy: ReplicationPolicy) -> Optional[int]:
+    """``k`` if ``policy`` is exactly the legacy eager ``copies=k`` scheme, else ``None``.
+
+    Simulators use this to route eager policies through their original
+    vectorised implementations, which keeps ``policy="k2"`` byte-identical to
+    the historical ``copies=2`` code path.  A policy qualifies when its plan
+    is static, launches every copy immediately and never cancels.
+    """
+    if not policy.is_static:
+        return None
+    plan = policy.plan()
+    if plan.is_eager and not plan.cancel_on_win:
+        return plan.copies
+    return None
+
+
+def resolve_policy(
+    policy: Optional[PolicyLike] = None,
+    copies: Optional[int] = None,
+    default_copies: int = 2,
+) -> ReplicationPolicy:
+    """Resolve the ``policy=`` / ``copies=`` pair every substrate accepts.
+
+    Exactly one of ``policy`` and ``copies`` may be given; ``copies=k`` is
+    sugar for :class:`KCopies` (``k=1`` for :class:`NoReplication`), and when
+    neither is given the substrate's ``default_copies`` applies.
+
+    Raises:
+        ConfigurationError: If both are given, or either is invalid.
+    """
+    if policy is not None and copies is not None:
+        raise ConfigurationError(
+            "pass either policy= or copies=, not both (copies=k is sugar for "
+            "the eager 'k<N>' policy)"
+        )
+    if policy is not None:
+        return parse_policy(policy)
+    k = default_copies if copies is None else copies
+    if k != int(k):
+        raise ConfigurationError(f"copies must be a positive integer, got {copies!r}")
+    k = int(k)
+    return NoReplication() if k == 1 else KCopies(k)
+
+
+def resolve_run_policy(
+    policy: Optional[PolicyLike],
+    copies: Optional[int],
+    default_copies: int,
+) -> Tuple[Optional[ReplicationPolicy], int]:
+    """Resolve a substrate ``run()``'s ``(policy=, copies=)`` pair.
+
+    The shared front door of every simulator's run method.  Returns
+    ``(hedged, k)``: ``hedged`` is ``None`` when the run should take the
+    substrate's legacy eager path with ``k`` copies — because ``copies=`` was
+    used (or defaulted), or because the policy is exactly the eager scheme
+    (:func:`eager_copies`), keeping ``policy="k2"`` byte-identical to
+    ``copies=2``.  Otherwise ``hedged`` is the parsed policy and ``k`` its
+    maximum copy count.
+
+    Raises:
+        ConfigurationError: If both ``policy`` and ``copies`` are given, or
+            the spec is malformed.
+    """
+    if policy is not None:
+        if copies is not None:
+            raise ConfigurationError("pass either policy= or copies=, not both")
+        hedged = parse_policy(policy)
+        eager = eager_copies(hedged)
+        if eager is not None:
+            return None, eager
+        return hedged, int(hedged.max_copies)
+    return None, int(default_copies if copies is None else copies)
+
+
+def run_policy_spec(hedged: Optional[ReplicationPolicy], k: int) -> Optional[str]:
+    """The canonical spec of a :func:`resolve_run_policy` result, for reporting.
+
+    ``None`` only for policy objects the spec language cannot express.
+    """
+    if hedged is None:
+        return "none" if k == 1 else f"k{k}"
+    try:
+        return policy_to_spec(hedged)
+    except ConfigurationError:
+        return None
+
+
+class PolicyDriver:
+    """Sequential-arrival harness around a policy for simulator loops.
+
+    Simulators that process requests in arrival order use this to (a) hand
+    each request its :class:`RequestPlan` and (b) deliver latency feedback to
+    adaptive policies *in completion-time order*, not in the order the
+    simulator happens to resolve requests.  Completions are parked in a heap
+    and released to :meth:`ReplicationPolicy.record_latency` only once the
+    simulation clock (the next request's arrival) has passed them — so a
+    policy never sees the future, and results are deterministic for any
+    execution order.
+    """
+
+    def __init__(self, policy: ReplicationPolicy) -> None:
+        """Wrap ``policy`` (shared, not copied — state carries across requests)."""
+        self.policy = policy
+        self._pending: List[Tuple[float, int, float]] = []
+        self._seq = 0
+
+    def plan_for(self, now: float) -> RequestPlan:
+        """The plan for a request arriving at ``now`` (releases due feedback first)."""
+        while self._pending and self._pending[0][0] <= now:
+            _, _, latency = heapq.heappop(self._pending)
+            self.policy.record_latency(latency)
+        return self.policy.plan()
+
+    def complete(self, completion_time: float, latency: float) -> None:
+        """Park one request's observed ``latency``, visible after ``completion_time``."""
+        heapq.heappush(self._pending, (float(completion_time), self._seq, float(latency)))
+        self._seq += 1
+
+    def flush(self) -> None:
+        """Release all parked feedback (end of a run)."""
+        while self._pending:
+            _, _, latency = heapq.heappop(self._pending)
+            self.policy.record_latency(latency)
+
+
+def simulate_hedged_arrivals(
+    policy: ReplicationPolicy,
+    arrival_times,
+    max_copies: int,
+    launch,
+):
+    """Drive a FIFO substrate through ``policy``, one plan per arriving request.
+
+    The shared core of every simulator's non-eager ("hedged") path: requests
+    arrive in order; each backup copy's dispatch is deferred by the policy's
+    launch delay and **suppressed** when the request already completed before
+    the delay expired.  It exploits the FIFO property every substrate here
+    shares — a copy's completion time is known the moment it is dispatched —
+    so suppression is decided exactly, with arrivals and pending backup
+    launches merged in global time order.  Launched copies are never
+    cancelled (that is the event-driven engines' job); latency feedback for
+    adaptive policies is released via :class:`PolicyDriver` once a request's
+    plan is fully resolved.
+
+    Args:
+        policy: The replication policy (shared state across requests).
+        arrival_times: 1-D array of request arrival times, non-decreasing.
+        max_copies: Cap on copies per request (e.g. how many distinct servers
+            were drawn); plans are truncated to this many entries.
+        launch: ``launch(request_index, copy_index, at) -> finish_time`` —
+            dispatch one copy to the substrate at time ``at`` and return its
+            absolute completion time.
+
+    Returns:
+        ``(finish_at, copies_launched)`` — per-request earliest absolute
+        completion times and dispatched-copy counts.
+    """
+    num_requests = len(arrival_times)
+    driver = PolicyDriver(policy)
+    finish_at = np.full(num_requests, np.inf)
+    launched = np.zeros(num_requests, dtype=np.int64)
+    outstanding = np.zeros(num_requests, dtype=np.int64)
+    backups: List[Tuple[float, int, int, int]] = []  # (time, seq, request, copy)
+    seq = 0
+
+    def launch_copy(request: int, copy: int, at: float) -> None:
+        finish = launch(request, copy, at)
+        launched[request] += 1
+        if finish < finish_at[request]:
+            finish_at[request] = finish
+
+    next_request = 0
+    while next_request < num_requests or backups:
+        if backups and (
+            next_request >= num_requests
+            or backups[0][0] <= arrival_times[next_request]
+        ):
+            at, _, request, copy = heapq.heappop(backups)
+            outstanding[request] -= 1
+            if finish_at[request] > at:  # still pending: the hedge fires
+                launch_copy(request, copy, at)
+            if outstanding[request] == 0:
+                arrival = arrival_times[request]
+                driver.complete(finish_at[request], finish_at[request] - arrival)
+            continue
+        arrival = arrival_times[next_request]
+        plan = driver.plan_for(arrival)
+        delays = plan.launch_delays[:max_copies]
+        launch_copy(next_request, 0, arrival)
+        for copy, delay in enumerate(delays[1:], start=1):
+            heapq.heappush(backups, (arrival + delay, seq, next_request, copy))
+            seq += 1
+            outstanding[next_request] += 1
+        if outstanding[next_request] == 0:
+            driver.complete(finish_at[next_request], finish_at[next_request] - arrival)
+        next_request += 1
+
+    return finish_at, launched

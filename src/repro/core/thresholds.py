@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.core.policy import PolicyLike
 from repro.distributions.base import Distribution
 from repro.queueing.mm1 import mm1_threshold_load
 from repro.queueing.threshold import (
@@ -51,12 +52,13 @@ def exponential_threshold_load(copies: int = 2) -> float:
 
 def threshold_load_simulated(
     service: Distribution,
-    copies: int = 2,
+    copies: Optional[int] = None,
     client_overhead: float = 0.0,
     num_servers: int = 10,
     num_requests: int = 40_000,
     seed: int = 0,
     tolerance: float = 0.01,
+    policy: Optional[PolicyLike] = None,
 ) -> float:
     """Estimate the threshold load for an arbitrary service distribution.
 
@@ -66,16 +68,23 @@ def threshold_load_simulated(
 
     Args:
         service: Service-time distribution of the backend.
-        copies: Replication factor.
+        copies: Eager replication factor (default 2, the paper's scheme);
+            mutually exclusive with ``policy``.
         client_overhead: Fixed client-side cost per replicated request, in the
             same unit as the service times.
         num_servers: Number of servers in the simulated system.
         num_requests: Requests per simulation run (larger = smoother estimate).
         seed: Seed for reproducibility.
         tolerance: Bisection width at which the search stops.
+        policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+            string (``"k2"``, ``"hedge:10ms"``, ``"hedge:p95"``) whose
+            threshold is sought; hedging policies typically keep a positive
+            benefit to far higher loads than eager replication because their
+            backups launch only for slow requests.
 
     Returns:
-        The estimated threshold load in ``[0, 1/copies)``.
+        The estimated threshold load in ``[0, 1/copies)`` (eager) or
+        ``[0, 1)`` (hedging).
     """
     return threshold_load(
         service,
@@ -85,6 +94,7 @@ def threshold_load_simulated(
         client_overhead=client_overhead,
         seed=seed,
         tolerance=tolerance,
+        policy=policy,
     )
 
 

@@ -18,6 +18,20 @@ Adapters return a plain dict with three keys, all JSON-serialisable:
 Adapters draw all randomness from the ``seed`` they are handed (derived per
 point by :func:`repro.experiments.scenario.point_seed`), never from global
 state, which is what makes sweep results independent of worker count.
+
+The policy axis
+---------------
+
+Every adapter accepts a ``policy`` parameter — a
+:mod:`repro.core.policy` spec string (``"none"``, ``"k2"``,
+``"hedge:10ms"``, ``"hedge:p95"``) — as the replication description, which is
+what lets hedging ablations live in ordinary parameter grids.  Before seeds
+are derived, the sweep runner passes each point through
+:func:`normalize_point_params`, which canonicalises specs and rewrites
+*eager* policies into the substrate's legacy parameter (``copies=k``, or
+``replication=bool`` for the fat-tree).  That normalisation means a
+``policy="k2"`` axis value produces the **same point parameters, seed and
+artifact bytes** as the historical ``copies=2`` axis value.
 """
 
 from __future__ import annotations
@@ -26,12 +40,90 @@ from typing import Any, Callable, Dict, Optional
 
 import numpy as np
 
+from repro.core.policy import (
+    canonical_policy_spec,
+    eager_copies,
+    parse_policy,
+    policy_to_spec,
+)
 from repro.exceptions import ConfigurationError
 from repro.metrics import LatencyRecorder, MetricsRegistry
 
 
 def _summary_row(samples: np.ndarray, name: str) -> Dict[str, Any]:
     return LatencyRecorder.from_samples(samples, name=name).summary().as_row()
+
+
+#: The legacy per-substrate parameter an eager policy spec normalises into.
+_LEGACY_REPLICATION_PARAM = {
+    "queueing": "copies",
+    "queueing_paired": "copies",
+    "database": "copies",
+    "memcached": "copies",
+    "dns": "copies",
+    "handshake": "copies",
+    "fattree": "replication",
+}
+
+
+def normalize_point_params(
+    entry_point: str,
+    params: Dict[str, Any],
+    axes: Any = (),
+) -> Dict[str, Any]:
+    """Canonicalise one sweep point's ``policy`` parameter.
+
+    Called by the sweep runner on every grid point *before* the point seed is
+    derived.  A malformed spec therefore fails fast, before any worker is
+    spawned, and two spellings of the same policy (``"hedge:0.01s"`` vs
+    ``"hedge:10ms"``) share one seed.  Eager policies are rewritten into the
+    substrate's legacy parameter — ``policy="k2"`` becomes ``copies=2``
+    (``replication=True`` for the fat-tree) — so policy-axis sweeps of eager
+    configurations are byte-identical to the historical integer-``copies``
+    sweeps, golden artifacts included.
+
+    A ``policy`` setting replaces a legacy value coming from *base
+    parameters* (which is what lets ``--set policy=hedge:p95`` re-policy a
+    scenario whose base says ``copies: 2``); only a point where the legacy
+    parameter is itself a swept ``axes`` member conflicts, since there the
+    grid explicitly asks for both descriptions at once.
+
+    Raises:
+        ConfigurationError: On a malformed spec, a policy colliding with a
+            swept legacy axis, or an eager copy count the substrate cannot
+            express.
+    """
+    if "policy" not in params:
+        return params
+    params = dict(params)
+    resolved = parse_policy(params["policy"])
+    legacy = _LEGACY_REPLICATION_PARAM.get(entry_point)
+    if legacy is not None and legacy in params:
+        if legacy in axes:
+            raise ConfigurationError(
+                f"point params sweep both 'policy' and {legacy!r}; the policy "
+                f"axis replaces the legacy parameter — drop the {legacy!r} "
+                f"axis (policy={params['policy']!r} already describes the "
+                "replication)"
+            )
+        # The legacy value came from base params/overrides: the explicit
+        # policy wins (this is what `--set policy=...` relies on).
+        del params[legacy]
+    eager = eager_copies(resolved)
+    if eager is not None and legacy is not None:
+        if entry_point == "fattree" and eager > 2:
+            raise ConfigurationError(
+                f"the in-network mechanism replicates along one alternate "
+                f"path; policy {params['policy']!r} wants k={eager}"
+            )
+        del params["policy"]
+        if entry_point == "fattree":
+            params[legacy] = eager >= 2
+        else:
+            params[legacy] = eager
+    else:
+        params["policy"] = policy_to_spec(resolved)
+    return params
 
 
 def _make_distribution(params: Dict[str, Any]):
@@ -67,19 +159,21 @@ def _make_distribution(params: Dict[str, Any]):
 def run_queueing(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One ``run_fast`` point of the Section 2.1 replication queueing model.
 
-    Params: ``distribution`` (+ its shape parameters), ``load``, ``copies``,
-    ``num_servers``, ``num_requests``, ``warmup_fraction``, ``client_overhead``.
+    Params: ``distribution`` (+ its shape parameters), ``load``, ``copies``
+    or ``policy`` (a policy spec such as ``"hedge:p95"``), ``num_servers``,
+    ``num_requests``, ``warmup_fraction``, ``client_overhead``.
     """
     from repro.queueing import ReplicatedQueueingModel
 
-    copies = int(params.get("copies", 2))
+    policy = params.get("policy")
     num_requests = int(params.get("num_requests", 20_000))
     model = ReplicatedQueueingModel(
         _make_distribution(params),
         num_servers=int(params.get("num_servers", 10)),
-        copies=copies,
+        copies=None if policy is not None else int(params.get("copies", 2)),
         client_overhead=float(params.get("client_overhead", 0.0)),
         seed=seed,
+        policy=policy,
     )
     result = model.run_fast(
         float(params["load"]),
@@ -88,28 +182,31 @@ def run_queueing(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     )
     registry = MetricsRegistry("queueing")
     registry.counter("requests").increment(num_requests)
-    registry.counter("copies_launched").increment(num_requests * copies)
+    registry.counter("copies_launched").increment(result.copies_launched)
     registry.recorder("latency").record_many(result.response_times)
+    scalars: Dict[str, Any] = {"mean": result.mean, "p999": result.summary.p999}
+    if policy is not None:
+        scalars["copies_launched_per_request"] = result.copies_launched / num_requests
     return {
         "summary": result.summary.as_row(),
         "metrics": registry.snapshot(),
-        "scalars": {"mean": result.mean, "p999": result.summary.p999},
+        "scalars": scalars,
     }
 
 
 def run_queueing_paired(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """A paired replication-vs-baseline point of the queueing model.
 
-    Runs the unreplicated and the ``copies``-way replicated configuration with
-    the *same* seed (common random numbers, as the paper's testbed replayed
-    the same workload) and reports the paired benefit — the quantity whose
-    sign change defines the threshold load.
+    Runs the unreplicated and the replicated configuration — ``copies`` eager
+    copies or a ``policy`` spec — with the *same* seed (common random numbers,
+    as the paper's testbed replayed the same workload) and reports the paired
+    benefit — the quantity whose sign change defines the threshold load.
     """
     from repro.queueing import ReplicatedQueueingModel
 
     service = _make_distribution(params)
     load = float(params["load"])
-    copies = int(params.get("copies", 2))
+    policy = params.get("policy")
     num_servers = int(params.get("num_servers", 10))
     num_requests = int(params.get("num_requests", 20_000))
     overhead = float(params.get("client_overhead", 0.0))
@@ -118,25 +215,35 @@ def run_queueing_paired(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         service, num_servers=num_servers, copies=1, seed=seed
     ).run_fast(load, num_requests=num_requests)
     replicated = ReplicatedQueueingModel(
-        service, num_servers=num_servers, copies=copies, client_overhead=overhead, seed=seed
+        service,
+        num_servers=num_servers,
+        copies=None if policy is not None else int(params.get("copies", 2)),
+        client_overhead=overhead,
+        seed=seed,
+        policy=policy,
     ).run_fast(load, num_requests=num_requests)
 
     registry = MetricsRegistry("queueing-paired")
     registry.counter("requests").increment(2 * num_requests)
-    registry.counter("copies_launched").increment(num_requests * (1 + copies))
+    registry.counter("copies_launched").increment(
+        num_requests + replicated.copies_launched
+    )
     registry.recorder("latency_baseline").record_many(baseline.response_times)
     registry.recorder("latency_replicated").record_many(replicated.response_times)
+    scalars: Dict[str, Any] = {
+        "mean_baseline": baseline.mean,
+        "mean_replicated": replicated.mean,
+        "benefit": baseline.mean - replicated.mean,
+        "replication_helps": bool(replicated.mean < baseline.mean),
+        "p999_baseline": baseline.summary.p999,
+        "p999_replicated": replicated.summary.p999,
+    }
+    if policy is not None:
+        scalars["copies_launched_per_request"] = replicated.copies_launched / num_requests
     return {
         "summary": replicated.summary.as_row(),
         "metrics": registry.snapshot(),
-        "scalars": {
-            "mean_baseline": baseline.mean,
-            "mean_replicated": replicated.mean,
-            "benefit": baseline.mean - replicated.mean,
-            "replication_helps": bool(replicated.mean < baseline.mean),
-            "p999_baseline": baseline.summary.p999,
-            "p999_replicated": replicated.summary.p999,
-        },
+        "scalars": scalars,
     }
 
 
@@ -156,11 +263,12 @@ _DATABASE_VARIANTS = (
 
 
 def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """One (load, copies) point of the Section 2.2 disk-backed database.
+    """One (load, copies-or-policy) point of the Section 2.2 disk-backed database.
 
     Params: ``variant`` (one of the Figure 5-11 named configurations),
-    ``load``, ``copies``, ``num_files``, ``num_requests`` and optional
-    ``ccdf_thresholds_ms`` (tail fractions reported as scalars).
+    ``load``, ``copies`` or ``policy`` (e.g. ``"hedge:20ms"``), ``num_files``,
+    ``num_requests`` and optional ``ccdf_thresholds_ms`` (tail fractions
+    reported as scalars).
     """
     from repro.cluster import DatabaseClusterConfig, DatabaseClusterExperiment
 
@@ -169,20 +277,26 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         raise ConfigurationError(
             f"unknown database variant {variant!r}; known: {_DATABASE_VARIANTS}"
         )
+    policy = params.get("policy")
     config = getattr(DatabaseClusterConfig, variant)(
         num_files=int(params.get("num_files", 30_000)), seed=seed
     )
     experiment = DatabaseClusterExperiment(config)
     result = experiment.run(
         float(params["load"]),
-        copies=int(params.get("copies", 2)),
+        copies=None if policy is not None else int(params.get("copies", 2)),
         num_requests=int(params.get("num_requests", 15_000)),
+        policy=policy,
     )
     scalars: Dict[str, Any] = {
         "mean": result.mean,
         "p999": result.p999,
         "cache_hit_ratio": result.cache_hit_ratio,
     }
+    if policy is not None:
+        scalars["copies_launched_per_request"] = result.copies_launched / int(
+            params.get("num_requests", 15_000)
+        )
     for threshold_ms in params.get("ccdf_thresholds_ms", ()):
         fraction = float(np.mean(result.response_times > threshold_ms / 1000.0))
         scalars[f"frac_later_{threshold_ms:g}ms"] = fraction
@@ -190,23 +304,29 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 
 def run_memcached(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """One (load, copies, stub) point of the Section 2.3 memcached model.
+    """One (load, copies-or-policy, stub) point of the Section 2.3 memcached model.
 
-    Params: ``load``, ``copies``, ``stub``, ``num_requests``.
+    Params: ``load``, ``copies`` or ``policy``, ``stub``, ``num_requests``.
     """
     from repro.cluster import MemcachedConfig, MemcachedExperiment
 
+    policy = params.get("policy")
+    num_requests = int(params.get("num_requests", 30_000))
     config = MemcachedConfig(seed=seed)
     result = MemcachedExperiment(config).run(
         float(params["load"]),
-        copies=int(params.get("copies", 2)),
+        copies=None if policy is not None else int(params.get("copies", 2)),
         stub=bool(params.get("stub", False)),
-        num_requests=int(params.get("num_requests", 30_000)),
+        num_requests=num_requests,
+        policy=policy,
     )
+    scalars: Dict[str, Any] = {"mean": result.mean, "p999": result.summary.p999}
+    if policy is not None:
+        scalars["copies_launched_per_request"] = result.copies_launched / num_requests
     return {
         "summary": result.summary.as_row(),
         "metrics": result.metrics,
-        "scalars": {"mean": result.mean, "p999": result.summary.p999},
+        "scalars": scalars,
     }
 
 
@@ -218,18 +338,25 @@ def run_memcached(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One fat-tree run (Section 2.4) with or without in-network replication.
 
-    Params: ``k``, ``load``, ``num_flows``, ``replication`` (bool),
+    Params: ``k``, ``load``, ``num_flows``, ``replication`` (bool) or
+    ``policy`` (``"none"``, ``"k2"``, or deferred ``"hedge:<delay>"``),
     ``link_rate_gbps``, ``per_hop_delay_us``, ``first_packets``.
     """
     from repro.network import FatTreeExperiment, FatTreeExperimentConfig
     from repro.network.replication import ReplicationConfig
 
-    replicate = bool(params.get("replication", True))
-    replication = (
-        ReplicationConfig(first_packets=int(params.get("first_packets", 8)))
-        if replicate
-        else ReplicationConfig.disabled()
-    )
+    policy = params.get("policy")
+    if policy is not None:
+        replication = ReplicationConfig.from_policy(
+            policy, first_packets=int(params.get("first_packets", 8))
+        )
+    else:
+        replicate = bool(params.get("replication", True))
+        replication = (
+            ReplicationConfig(first_packets=int(params.get("first_packets", 8)))
+            if replicate
+            else ReplicationConfig.disabled()
+        )
     config = FatTreeExperimentConfig(
         k=int(params.get("k", 4)),
         link_rate_gbps=float(params.get("link_rate_gbps", 5.0)),
@@ -274,12 +401,47 @@ def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 
 def run_dns(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """One copy-count point of the Section 3.2 DNS replication experiment.
+    """One copy-count (or policy) point of the Section 3.2 DNS experiment.
 
-    Params: ``copies``, ``num_vantage_points``, ``num_servers``,
-    ``stage1_queries``, ``stage2_queries``, ``tail_threshold_s``.
+    Params: ``copies`` or ``policy`` (e.g. ``"hedge:50ms"``),
+    ``num_vantage_points``, ``num_servers``, ``stage1_queries``,
+    ``stage2_queries``, ``tail_threshold_s``.
     """
     from repro.wan import DnsExperiment, DnsExperimentConfig
+
+    policy = params.get("policy")
+    threshold_s = float(params.get("tail_threshold_s", 0.5))
+    if policy is not None:
+        resolved = parse_policy(policy)
+        config = DnsExperimentConfig(
+            num_vantage_points=int(params.get("num_vantage_points", 6)),
+            num_servers=int(params.get("num_servers", max(resolved.max_copies, 5))),
+            stage1_queries_per_server=int(params.get("stage1_queries", 150)),
+            stage2_queries_per_config=int(params.get("stage2_queries", 600)),
+            seed=seed,
+        )
+        result = DnsExperiment(config).run_policy(resolved)
+        summary = result.summary()
+        registry = MetricsRegistry("dns")
+        registry.counter("queries").increment(result.queries_launched + result.num_trials)
+        registry.recorder("latency").record_many(result.samples)
+        tail = result.tail_improvement(threshold_s)
+        return {
+            "summary": summary.as_row(),
+            "metrics": registry.snapshot(),
+            "scalars": {
+                "mean_ms": summary.mean * 1000.0,
+                "mean_reduction_pct": result.reduction_percent["mean"],
+                "median_reduction_pct": result.reduction_percent["median"],
+                "p95_reduction_pct": result.reduction_percent["p95"],
+                "p99_reduction_pct": result.reduction_percent["p99"],
+                "frac_later": result.fraction_later_than(threshold_s),
+                "tail_improvement": None if not np.isfinite(tail) else float(tail),
+                # The policy's traffic cost: the eager k policy pays k per
+                # trial, hedging pays only for backups that actually fired.
+                "queries_per_trial": result.mean_queries_per_trial,
+            },
+        }
 
     copies = int(params.get("copies", 2))
     config = DnsExperimentConfig(
@@ -291,7 +453,6 @@ def run_dns(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     )
     copies_list = sorted({1, copies})
     results = DnsExperiment(config).run(copies_list=copies_list)
-    threshold_s = float(params.get("tail_threshold_s", 0.5))
     summary = results.summary(copies)
     registry = MetricsRegistry("dns")
     registry.counter("queries").increment(
@@ -321,15 +482,34 @@ def run_dns(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
 
 def run_handshake(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
-    """One copy-count point of the Section 3.1 TCP-handshake model.
+    """One copy-count (or policy) point of the Section 3.1 TCP-handshake model.
 
-    Params: ``copies``, ``rtt``, ``num_samples``.
+    Params: ``copies`` or ``policy`` (``"none"``, ``"k2"``, or deferred
+    ``"hedge:<delay>"``), ``rtt``, ``num_samples``.
     """
     from repro.wan import HandshakeModel
 
-    copies = int(params.get("copies", 2))
     model = HandshakeModel(rtt=float(params.get("rtt", 0.05)))
     num_samples = int(params.get("num_samples", 50_000))
+    policy = params.get("policy")
+    if policy is not None:
+        samples, backups = model.sample_completion_times_policy(
+            policy, num_samples, np.random.default_rng(seed)
+        )
+        registry = MetricsRegistry("handshake")
+        registry.counter("handshakes").increment(num_samples)
+        registry.counter("backup_packets").increment(int(backups))
+        registry.recorder("completion_time").record_many(samples)
+        return {
+            "summary": _summary_row(samples, "handshake"),
+            "metrics": registry.snapshot(),
+            "scalars": {
+                "loss_probability": model.loss_probability(1),
+                "backup_packets_per_handshake": backups / num_samples,
+            },
+        }
+
+    copies = int(params.get("copies", 2))
     samples = model.sample_completion_times(
         copies, num_samples, np.random.default_rng(seed)
     )

@@ -23,7 +23,8 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import ResultTable
 from repro.exceptions import ConfigurationError, ReproError
@@ -56,13 +57,31 @@ def _comma_list(text: Optional[str]) -> Optional[List[str]]:
     return items or None
 
 
+def _axis_value(point, name: str) -> Any:
+    """A point's value for one grid axis, for display.
+
+    Eager ``policy`` axis values are normalised into the substrate's legacy
+    parameter before execution (``"k2"`` → ``copies=2``), so reconstruct the
+    spec for display rather than showing a blank.
+    """
+    value = point.params.get(name)
+    if value is None and name == "policy":
+        copies = point.params.get("copies")
+        if copies is not None:
+            return "none" if int(copies) == 1 else f"k{int(copies)}"
+        replication = point.params.get("replication")
+        if replication is not None:
+            return "k2" if replication else "none"
+    return value
+
+
 def _summary_table(result: SweepResult) -> ResultTable:
     """A one-row-per-point overview table of a sweep."""
     axis_names = list(result.axes)
     columns = axis_names + ["status", "mean", "p99"]
     table = ResultTable(columns, title=f"scenario {result.scenario!r} ({len(result.points)} points)")
     for point in result.points:
-        row: Dict[str, Any] = {name: point.params.get(name) for name in axis_names}
+        row: Dict[str, Any] = {name: _axis_value(point, name) for name in axis_names}
         row["status"] = point.status
         summary = point.summary or {}
         row["mean"] = summary.get("mean")
@@ -99,6 +118,55 @@ def cmd_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_duration(seconds: float) -> str:
+    """``73`` → ``"1m13s"``; sub-minute values render as plain seconds."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _make_progress(stream=None) -> Callable[[int, int], None]:
+    """A live ``[done/total] pct · elapsed · eta`` progress line.
+
+    The rate (and therefore the ETA) is computed over points *executed this
+    run*: a resumed run's cached prefix arrives in the first callback and is
+    excluded, so the ETA reflects the remaining work, not the artifact's
+    history.  On a terminal the line redraws in place; on a pipe (CI logs)
+    each update is a plain line.
+    """
+    stream = stream if stream is not None else sys.stdout
+    interactive = bool(getattr(stream, "isatty", lambda: False)())
+    state: Dict[str, float] = {}
+
+    def progress(done: int, total: int) -> None:
+        now = time.monotonic()
+        if "start" in state:
+            elapsed = now - state["start"]
+            executed = done - state["cached"]
+        else:
+            state["start"], state["cached"] = now, float(done)
+            elapsed, executed = 0.0, 0.0
+        pct = 100.0 * done / total if total else 100.0
+        line = f"  [{done}/{total}] {pct:3.0f}% · elapsed {_format_duration(elapsed)}"
+        if done >= total:
+            line += " · done"
+        elif executed > 0 and elapsed > 0:
+            eta = (total - done) * elapsed / executed
+            line += f" · eta {_format_duration(eta)}"
+        if interactive:
+            end = "\n" if done >= total else ""
+            print(f"\r\x1b[2K{line}", end=end, file=stream, flush=True)
+        else:
+            print(line, file=stream, flush=True)
+
+    return progress
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     streaming = bool(args.out and args.out.endswith(".jsonl"))
@@ -109,10 +177,7 @@ def cmd_run(args: argparse.Namespace) -> int:
             "so there is nothing to resume from)"
         )
     runner = SweepRunner(workers=args.workers, chunk_size=args.chunk_size)
-    progress = None
-    if streaming and not args.quiet:
-        def progress(done: int, total: int) -> None:
-            print(f"  [{done}/{total}] points in artifact", flush=True)
+    progress = None if args.quiet else _make_progress()
     result = runner.run(
         scenario,
         overrides=_overrides(args.set),
@@ -143,18 +208,61 @@ def cmd_diff(args: argparse.Namespace) -> int:
     labels = _comma_list(args.labels) or []
     if len(labels) != 2:
         raise ConfigurationError(f"--labels expects two comma-separated names, got {args.labels!r}")
+    if args.fail_threshold is not None and args.fail_threshold < 0:
+        raise ConfigurationError(
+            f"--fail-threshold must be >= 0, got {args.fail_threshold!r}"
+        )
     base = load_sweep_artifact(args.artifact_a)
     other = load_sweep_artifact(args.artifact_b)
     diff = base.diff(other, labels=(labels[0], labels[1]))
-    table = diff.to_table(
-        columns=_comma_list(args.columns), key_columns=_comma_list(args.keys)
-    )
+    columns = _comma_list(args.columns)
+    table = diff.to_table(columns=columns, key_columns=_comma_list(args.keys))
     print(table.to_text())
     if diff.only_base or diff.only_other:
         print(
             f"(unmatched points: {len(diff.only_base)} only in {labels[0]}, "
             f"{len(diff.only_other)} only in {labels[1]})"
         )
+    if args.fail_threshold is None:
+        return 0
+    # Gate mode: exit non-zero when any compared value moved by more than the
+    # threshold (or when the grids do not even pair up), so CI can fail on
+    # regressions in the measured numbers rather than on table rendering.
+    worst = (None, "", 0.0, 0.0, -1.0)
+    compared = 0
+    for entry in diff.relative_deltas(columns):
+        compared += 1
+        if entry[4] > worst[4]:
+            worst = entry
+    unmatched = len(diff.only_base) + len(diff.only_other)
+    # A gate that compared nothing must fail loudly: a typo'd --columns name
+    # (every pair skipped as missing/non-numeric) would otherwise read as a
+    # permanently green regression check.
+    failed = worst[4] > args.fail_threshold or unmatched > 0 or compared == 0
+    if worst[4] >= 0:
+        params, name, base_value, other_value, pct = worst
+        print(
+            f"largest delta: {name} {base_value:g} -> {other_value:g} "
+            f"({pct:.4g}% at {params}); threshold {args.fail_threshold:g}%",
+            file=sys.stderr if failed else sys.stdout,
+        )
+    if failed:
+        if compared == 0:
+            print(
+                "FAIL: no numeric value pairs were compared — check --columns "
+                f"({(columns or list(diff.DEFAULT_COLUMNS))!r}) against the "
+                "artifacts' scalars/summary fields",
+                file=sys.stderr,
+            )
+        elif unmatched:
+            print(f"FAIL: {unmatched} unmatched point(s)", file=sys.stderr)
+        else:
+            print(
+                f"FAIL: delta exceeds --fail-threshold {args.fail_threshold:g}%",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"OK: all {compared} deltas within {args.fail_threshold:g}%")
     return 0
 
 
@@ -216,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
             "      --out dns-matrix.jsonl --resume\n"
             "  # smoke-size any scenario by overriding base parameters\n"
             "  python -m repro.experiments run database-ec2 --set num_requests=1000\n"
+            "  # re-policy a scenario: hedge at the observed 95th percentile\n"
+            "  # instead of the base parameters' eager copies\n"
+            "  python -m repro.experiments run queueing-threshold --set policy=hedge:p95\n"
         ),
     )
     run.add_argument("scenario")
@@ -259,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
             "  # pick the compared columns and the identifying key columns\n"
             "  python -m repro.experiments diff a.json b.json \\\n"
             "      --columns mean,p99,benefit --keys load,copies\n"
+            "  # CI gate: fail (exit 1) on any >2% regression in the numbers\n"
+            "  python -m repro.experiments diff golden.json fresh.json \\\n"
+            "      --fail-threshold 2\n"
         ),
     )
     diff.add_argument("artifact_a", help="reference artifact (.json or .jsonl)")
@@ -274,6 +388,13 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument(
         "--labels", default="paper,measured",
         help="comma-separated labels of the two sides (default: paper,measured)",
+    )
+    diff.add_argument(
+        "--fail-threshold", type=float, default=None, metavar="PCT",
+        help="gate mode: exit 1 if any compared value differs by more than "
+             "PCT percent (or if the artifacts have unmatched points) — lets "
+             "CI fail on regressions in measured numbers; 0 demands exact "
+             "agreement",
     )
     diff.set_defaults(func=cmd_diff)
     return parser

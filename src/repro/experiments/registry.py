@@ -224,6 +224,116 @@ register_scenario(
 )
 
 # --------------------------------------------------------------------------- #
+# Built-in catalogue — hedging ablations (beyond the paper; see EXPERIMENTS.md)
+#
+# The paper contrasts its eager duplication with deferred ("hedged") variants
+# that trade a little of the mean-latency benefit for far less added load.
+# These scenarios sweep that trade-off as a `policy` axis across every
+# substrate: "none" and "k2" bracket each figure's original two curves, and
+# the hedge specs fill in the deferred middle ground.
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="standard-queueing-policy-ablation",
+        entry_point="queueing",
+        description=(
+            "Policy ablation on the Section 2.1 queueing model: eager k-copies "
+            "vs fixed-delay and p95-adaptive hedging (mean service time = 1 s)."
+        ),
+        base_params={"distribution": "exponential", "num_requests": 20_000},
+        grid=ParameterGrid(
+            {"load": [0.2, 0.4], "policy": ["none", "k2", "hedge:500ms", "hedge:p95"]}
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-db-hedging",
+        entry_point="database",
+        description=(
+            "Hedged secondary reads vs eager duplication on the Section 2.2 "
+            "disk-backed database (base configuration)."
+        ),
+        base_params={
+            "variant": "base",
+            "num_files": 20_000,
+            "num_requests": 10_000,
+            "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
+        },
+        grid=ParameterGrid(
+            {"load": [0.2, 0.4], "policy": ["none", "k2", "hedge:20ms", "hedge:p95"]}
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-memcached-hedging",
+        entry_point="memcached",
+        description=(
+            "Hedging where eager replication hurts: the Section 2.3 memcached "
+            "cluster, whose client overhead eats the eager benefit (Figure 12)."
+        ),
+        base_params={"num_requests": 20_000},
+        grid=ParameterGrid(
+            {"load": [0.1, 0.3], "policy": ["none", "k2", "hedge:400us", "hedge:p95"]}
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-fattree-policy",
+        entry_point="fattree",
+        description=(
+            "Deferred in-network duplication on the Section 2.4 fat-tree: the "
+            "replica is injected only after a hedge delay and suppressed if "
+            "the segment was already acknowledged."
+        ),
+        base_params={"k": 4, "num_flows": 400},
+        grid=ParameterGrid({"load": [0.2, 0.4], "policy": ["none", "k2", "hedge:100us"]}),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-handshake-hedging",
+        entry_point="handshake",
+        description=(
+            "Deferred SYN duplication (Section 3.1): time-separated copies "
+            "suffer independent rather than back-to-back correlated losses, "
+            "at a tiny fraction of the duplicate packets."
+        ),
+        base_params={"num_samples": 50_000},
+        grid=ParameterGrid(
+            {"rtt": [0.05, 0.2], "policy": ["none", "k2", "hedge:200ms", "hedge:1s"]}
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="paper-dns-hedged",
+        entry_point="dns",
+        tier="paper",
+        description=(
+            "Figures 15-17 extended: hedged DNS querying over the full "
+            "15-vantage x 10-server matrix — how much of the eager tail "
+            "benefit survives at a fraction of the extra queries."
+        ),
+        base_params={
+            "num_vantage_points": 15,
+            "num_servers": 10,
+            "stage1_queries": 300,
+            "stage2_queries": 2_000,
+        },
+        grid=ParameterGrid({"policy": ["none", "k2", "k3", "hedge:50ms", "hedge:p95"]}),
+    )
+)
+
+# --------------------------------------------------------------------------- #
 # Built-in catalogue — paper tier (see EXPERIMENTS.md)
 # --------------------------------------------------------------------------- #
 

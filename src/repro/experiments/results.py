@@ -349,6 +349,44 @@ class SweepDiff:
         except ConfigurationError:
             return None
 
+    def relative_deltas(
+        self, columns: Optional[Sequence[str]] = None
+    ) -> List[Tuple[Dict[str, Any], str, float, float, float]]:
+        """Per-pair, per-column absolute relative deltas, in percent.
+
+        Each entry is ``(params, column, base_value, other_value, pct)`` where
+        ``pct`` is ``100 * |other - base| / |base|``.  Pairs where either side
+        is missing or non-numeric are skipped; a value measured as exactly
+        zero on the base side yields ``0.0`` when the other side agrees and
+        ``inf`` otherwise (a from-zero regression has no finite percentage).
+
+        This is the quantity ``--fail-threshold`` gates on: CI can fail on
+        regressions in the *measured numbers*, not just on the rendered table.
+        """
+        value_columns = list(columns) if columns else list(self.DEFAULT_COLUMNS)
+        deltas: List[Tuple[Dict[str, Any], str, float, float, float]] = []
+        for base_point, other_point in self.pairs:
+            for name in value_columns:
+                base_value = self._value(base_point, name)
+                other_value = self._value(other_point, name)
+                if any(
+                    not isinstance(v, (int, float)) or isinstance(v, bool)
+                    for v in (base_value, other_value)
+                ):
+                    continue
+                if base_value == 0:
+                    pct = 0.0 if other_value == 0 else float("inf")
+                else:
+                    pct = 100.0 * abs(other_value - base_value) / abs(base_value)
+                deltas.append(
+                    (dict(base_point.params), name, float(base_value), float(other_value), pct)
+                )
+        return deltas
+
+    def max_relative_delta(self, columns: Optional[Sequence[str]] = None) -> float:
+        """The largest :meth:`relative_deltas` percentage (``0.0`` if none compare)."""
+        return max((pct for *_rest, pct in self.relative_deltas(columns)), default=0.0)
+
     def to_table(
         self,
         columns: Optional[Sequence[str]] = None,

@@ -31,7 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import CapacityError, ConfigurationError
-from repro.experiments.adapters import resolve_adapter
+from repro.experiments.adapters import normalize_point_params, resolve_adapter
 from repro.experiments.artifact import (
     ArtifactWriter,
     canonicalize,
@@ -159,6 +159,11 @@ class SweepRunner:
         if overrides or seed is not None:
             scenario = scenario.with_overrides(base_params=overrides, seed=seed)
 
+        # Points are normalised before seeds are derived: policy specs are
+        # canonicalised and *eager* policies rewritten to the substrate's
+        # legacy parameter, so a `policy="k2"` axis value shares its params,
+        # seed and artifact bytes with the historical `copies=2` value (and a
+        # malformed spec fails here, before any worker is spawned).
         work: List[_WorkItem] = [
             (
                 scenario.entry_point,
@@ -166,7 +171,12 @@ class SweepRunner:
                 point_seed(scenario.seed, scenario.name, params),
                 index,
             )
-            for index, params in enumerate(scenario.points())
+            for index, params in enumerate(
+                normalize_point_params(
+                    scenario.entry_point, point, axes=scenario.grid.axes
+                )
+                for point in scenario.points()
+            )
         ]
         # Resolve the adapter up front so an unknown entry point fails before
         # any worker is spawned.

@@ -282,6 +282,19 @@ class FatTreeExperiment:
         alternate_links: Dict[int, List[Link]] = {}
         ack_delay: Dict[int, float] = {}
 
+        def inject_replica(flow: TcpFlow, packet: Packet) -> None:
+            replica = packet.clone_as_replica()
+            replica.priority = config.replication.replica_priority()
+            network.inject(replica, alternate_links[flow.flow_id])
+
+        def inject_deferred_replica(flow: TcpFlow, packet: Packet) -> None:
+            # Hedged duplication: by the time the delay expires the segment
+            # may already be acknowledged — then the copy is suppressed and
+            # the network never pays for it.
+            if flow.completed or flow.snd_una > packet.seq:
+                return
+            inject_replica(flow, packet)
+
         def send_segment(flow: TcpFlow, seq: int, wire_bytes: float, retransmission: bool) -> None:
             packet = Packet(
                 flow_id=flow.flow_id,
@@ -294,9 +307,15 @@ class FatTreeExperiment:
             )
             network.inject(packet, default_links[flow.flow_id])
             if config.replication.should_replicate(seq, retransmission):
-                replica = packet.clone_as_replica()
-                replica.priority = config.replication.replica_priority()
-                network.inject(replica, alternate_links[flow.flow_id])
+                if config.replication.deferred:
+                    sim.schedule(
+                        config.replication.replica_delay_s,
+                        inject_deferred_replica,
+                        flow,
+                        packet,
+                    )
+                else:
+                    inject_replica(flow, packet)
 
         def send_ack(flow: TcpFlow, ack_num: int) -> None:
             # ACKs return over an uncongested reverse path: fixed delay.

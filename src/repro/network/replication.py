@@ -6,12 +6,28 @@ reduce latency when the default path is congested but can never make anything
 else worse.  Only the first packets are replicated because the completion time
 of short flows is latency-bound while that of elephants is throughput-bound
 ("replication would be of little use" for them).
+
+The mechanism is also addressable through the shared policy currency
+(:mod:`repro.core.policy`) via :meth:`ReplicationConfig.from_policy`:
+``NoReplication`` maps to the disabled baseline, eager 2-copy ``KCopies`` to
+the paper's immediate duplication, and ``HedgeAfterDelay`` to *deferred*
+duplication (``replica_delay_s``), where the copy is injected only after the
+hedge delay and suppressed entirely if the segment was acknowledged in the
+meantime.  Policies the single-alternate-path mechanism cannot express
+(``k > 2``, adaptive percentile hedging) are rejected with a clear error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.policy import (
+    HedgeAfterDelay,
+    KCopies,
+    NoReplication,
+    PolicyLike,
+    parse_policy,
+)
 from repro.exceptions import ConfigurationError
 from repro.network.packet import PRIORITY_NORMAL, PRIORITY_REPLICA
 
@@ -30,17 +46,26 @@ class ReplicationConfig:
             compete with ordinary traffic on equal terms.
         replicate_retransmissions: Whether retransmitted segments within the
             first-packet window are also replicated.
+        replica_delay_s: Deferred ("hedged") duplication: inject the replica
+            only this many seconds after the original segment, and skip it if
+            the segment was acknowledged before the delay expired.  ``0.0``
+            (the paper's design) duplicates immediately.
     """
 
     enabled: bool = True
     first_packets: int = 8
     low_priority: bool = True
     replicate_retransmissions: bool = True
+    replica_delay_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.first_packets < 0:
             raise ConfigurationError(
                 f"first_packets must be >= 0, got {self.first_packets!r}"
+            )
+        if self.replica_delay_s < 0:
+            raise ConfigurationError(
+                f"replica_delay_s must be >= 0, got {self.replica_delay_s!r}"
             )
 
     def should_replicate(self, seq: int, is_retransmission: bool = False) -> bool:
@@ -51,6 +76,11 @@ class ReplicationConfig:
             return False
         return True
 
+    @property
+    def deferred(self) -> bool:
+        """Whether replicas are injected after a hedge delay rather than immediately."""
+        return self.enabled and self.replica_delay_s > 0
+
     def replica_priority(self) -> int:
         """The queueing priority for replicated copies."""
         return PRIORITY_REPLICA if self.low_priority else PRIORITY_NORMAL
@@ -59,3 +89,56 @@ class ReplicationConfig:
     def disabled(cls) -> "ReplicationConfig":
         """The no-replication baseline."""
         return cls(enabled=False)
+
+    @classmethod
+    def from_policy(
+        cls,
+        policy: PolicyLike,
+        first_packets: int = 8,
+        low_priority: bool = True,
+    ) -> "ReplicationConfig":
+        """Translate a :class:`~repro.core.policy.ReplicationPolicy` into this mechanism.
+
+        Args:
+            policy: A policy object or spec string (``"none"``, ``"k2"``,
+                ``"hedge:100us"``).
+            first_packets: Leading data segments of each flow the mechanism
+                applies to.
+            low_priority: Queue copies at strictly lower priority.
+
+        Raises:
+            ConfigurationError: For policies the single-alternate-path,
+                in-switch mechanism cannot express — more than one extra copy
+                (``k > 2``), or adaptive percentile hedging (switches have no
+                per-flow latency feedback loop).
+        """
+        resolved = parse_policy(policy)
+        if isinstance(resolved, NoReplication):
+            return cls(enabled=False, first_packets=first_packets, low_priority=low_priority)
+        if isinstance(resolved, KCopies):
+            if resolved.copies == 1:
+                return cls(
+                    enabled=False, first_packets=first_packets, low_priority=low_priority
+                )
+            if resolved.copies == 2:
+                return cls(first_packets=first_packets, low_priority=low_priority)
+            raise ConfigurationError(
+                f"in-network replication sends one copy along one alternate path; "
+                f"k={resolved.copies} copies cannot be expressed"
+            )
+        if isinstance(resolved, HedgeAfterDelay):
+            if resolved.extra_copies != 1:
+                raise ConfigurationError(
+                    "in-network replication supports a single deferred copy; "
+                    f"extra_copies={resolved.extra_copies} cannot be expressed"
+                )
+            return cls(
+                first_packets=first_packets,
+                low_priority=low_priority,
+                replica_delay_s=resolved.delay,
+            )
+        raise ConfigurationError(
+            f"policy {type(resolved).__name__} cannot be expressed by the "
+            "in-network mechanism: switches have no per-flow latency feedback, "
+            "so only 'none', 'k2' and fixed-delay 'hedge:<delay>' apply"
+        )

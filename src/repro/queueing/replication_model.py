@@ -19,18 +19,40 @@ Two implementations are provided and cross-validated in the tests:
 
 The ``load`` parameter follows the paper's convention: it is the *base*
 utilisation of each server before replication (arrival rate per server times
-mean service time).  With ``k`` copies each server's actual utilisation is
-``k * load``, so the model refuses ``k * load >= 1``.
+mean service time).  With ``k`` eager copies each server's actual utilisation
+is ``k * load``, so the model refuses ``k * load >= 1``.
+
+Replication is described by a :class:`~repro.core.policy.ReplicationPolicy`
+(``policy=``, accepting a policy object or a spec string such as ``"k2"`` or
+``"hedge:p95"``); ``copies=k`` remains supported as sugar for the eager
+``k``-copies policy and routes through the original vectorised pass, so its
+results are byte-identical to the historical integer-``copies`` API.
+Non-eager (hedging) policies take a generalised pass: each backup copy's
+arrival at its server is offset by the policy's launch delay and is
+*suppressed* when the request already completed before the delay expired —
+the defining property of the hedged request.  The fast path never cancels a
+launched copy (its Lindley bookkeeping cannot retract queued work);
+:meth:`ReplicatedQueueingModel.run_event_driven` additionally honours
+``cancel_on_win`` by withdrawing still-queued losing copies when the first
+copy completes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
+from repro.core.policy import (
+    PolicyLike,
+    ReplicationPolicy,
+    eager_copies,
+    policy_to_spec,
+    resolve_policy,
+    simulate_hedged_arrivals,
+)
 from repro.distributions.base import Distribution
 from repro.exceptions import CapacityError, ConfigurationError
 from repro.metrics import LatencyRecorder
@@ -46,14 +68,22 @@ class QueueingResults:
     Attributes:
         response_times: Per-request response times (seconds), warmup excluded.
         load: Base per-server utilisation of the run.
-        copies: Replication factor used.
+        copies: Replication factor used (the policy's maximum copy count).
         summary: Precomputed latency summary of ``response_times``.
+        policy_spec: Canonical spec of the replication policy the run used
+            (``None`` for policies the spec language cannot express).
+        copies_launched: Total copies that consumed service across all
+            requests (warmup included) — for hedging policies this is smaller
+            than ``copies * num_requests`` because suppressed backups never
+            launch and cancelled copies are withdrawn before service.
     """
 
     response_times: np.ndarray
     load: float
     copies: int
     summary: LatencySummary = field(repr=False, default=None)  # type: ignore[assignment]
+    policy_spec: Optional[str] = None
+    copies_launched: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.summary is None:
@@ -77,44 +107,61 @@ class ReplicatedQueueingModel:
         self,
         service: Distribution,
         num_servers: int = 10,
-        copies: int = 2,
+        copies: Optional[int] = None,
         client_overhead: float = 0.0,
         seed: Optional[int] = 0,
+        policy: Optional[PolicyLike] = None,
     ) -> None:
         """Configure the model.
 
         Args:
             service: Service-time distribution (shared by all servers).
-            num_servers: Number of servers ``N`` (must be >= ``copies``).  The
-                paper notes the independence approximation is good for
-                ``N >= 10`` with ``k = 2``.
+            num_servers: Number of servers ``N`` (must be >= the policy's
+                maximum copy count).  The paper notes the independence
+                approximation is good for ``N >= 10`` with ``k = 2``.
             copies: Replication factor ``k`` >= 1 (1 disables replication).
-            client_overhead: Extra latency added to every request *when it is
-                replicated*, expressed in the same time unit as the service
-                distribution (Figure 4 sweeps this as a fraction of the mean
-                service time).  Charged once per extra copy:
-                ``overhead * (copies - 1)``.
+                Sugar for ``policy=KCopies(k)``; mutually exclusive with
+                ``policy``.  Defaults to the paper's eager 2 copies when
+                neither is given.
+            client_overhead: Extra latency added to every request *per extra
+                copy actually launched*, expressed in the same time unit as
+                the service distribution (Figure 4 sweeps this as a fraction
+                of the mean service time).  For eager ``k``-copies this is the
+                historical ``overhead * (copies - 1)``.
             seed: Base seed for reproducible runs (``None`` = fresh entropy).
+            policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+                string (``"none"``, ``"k2"``, ``"hedge:10ms"``,
+                ``"hedge:p95"``) governing how each request is replicated.
 
         Raises:
-            ConfigurationError: If ``copies`` exceeds ``num_servers`` or any
-                parameter is invalid.
+            ConfigurationError: If the policy's copy count exceeds
+                ``num_servers`` or any parameter is invalid.
         """
         if num_servers < 1:
             raise ConfigurationError(f"num_servers must be >= 1, got {num_servers!r}")
-        if copies < 1 or int(copies) != copies:
+        if copies is not None and (copies < 1 or int(copies) != copies):
             raise ConfigurationError(f"copies must be a positive integer, got {copies!r}")
-        if copies > num_servers:
-            raise ConfigurationError(
-                f"copies ({copies}) cannot exceed num_servers ({num_servers})"
-            )
         if client_overhead < 0:
             raise ConfigurationError(f"client_overhead must be >= 0, got {client_overhead!r}")
+        self.policy: ReplicationPolicy = resolve_policy(policy, copies, default_copies=2)
+        self._eager_k = eager_copies(self.policy)
         self.service = service
         self.num_servers = int(num_servers)
-        self.copies = int(copies)
+        self.copies = int(self.policy.max_copies)
+        if self.copies > num_servers:
+            raise ConfigurationError(
+                f"copies ({self.copies}) cannot exceed num_servers ({num_servers})"
+            )
         self.client_overhead = float(client_overhead)
         self.seed = seed
+
+    @property
+    def policy_spec(self) -> Optional[str]:
+        """Canonical spec of the model's policy (``None`` if inexpressible)."""
+        try:
+            return policy_to_spec(self.policy)
+        except ConfigurationError:
+            return None
 
     # ------------------------------------------------------------------ #
     # Fast vectorised implementation
@@ -164,14 +211,26 @@ class ReplicatedQueueingModel:
             self.service.sample(service_rng, num_requests * self.copies), dtype=float
         ).reshape(num_requests, self.copies)
 
-        response = self._lindley_pass(arrival_times, servers, service_times)
-
-        if self.copies > 1 and self.client_overhead > 0:
-            response = response + self.client_overhead * (self.copies - 1)
+        if self._eager_k is not None:
+            response = self._lindley_pass(arrival_times, servers, service_times)
+            if self.copies > 1 and self.client_overhead > 0:
+                response = response + self.client_overhead * (self.copies - 1)
+            total_launched = num_requests * self.copies
+        else:
+            response, launched = self._policy_pass(arrival_times, servers, service_times)
+            if self.client_overhead > 0:
+                response = response + self.client_overhead * (launched - 1)
+            total_launched = int(launched.sum())
 
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
-        return QueueingResults(response_times=retained, load=load, copies=self.copies)
+        return QueueingResults(
+            response_times=retained,
+            load=load,
+            copies=self.copies,
+            policy_spec=self.policy_spec,
+            copies_launched=total_launched,
+        )
 
     def _choose_servers(self, rng: np.random.Generator, num_requests: int) -> np.ndarray:
         """Choose ``copies`` distinct servers per request, uniformly at random."""
@@ -209,6 +268,43 @@ class ReplicatedQueueingModel:
                     best = elapsed
             response[i] = best
         return response
+
+    def _policy_pass(
+        self,
+        arrival_times: np.ndarray,
+        servers: np.ndarray,
+        service_times: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Generalised single pass for policies with non-zero launch delays.
+
+        Copies arrive at their servers offset by the policy's launch delays;
+        a backup whose request already completed before its delay expired is
+        suppressed (never launched).  Because every server is FIFO, a copy's
+        completion time is known the moment it is enqueued, so suppression is
+        decided exactly.  Launched copies are never cancelled here — the
+        event-driven path is the one that models ``cancel_on_win``.
+
+        Latency feedback for adaptive policies is released in completion-time
+        order once a request's plan is fully resolved (all its backup launch
+        decisions made), so a policy never observes the future.
+
+        Returns:
+            ``(response_times, copies_launched)`` arrays, one entry per
+            request.
+        """
+        free_at = np.zeros(self.num_servers)
+
+        def launch(request: int, copy: int, at: float) -> float:
+            server = servers[request, copy]
+            start = free_at[server] if free_at[server] > at else at
+            finish = start + service_times[request, copy]
+            free_at[server] = finish
+            return finish
+
+        finish_at, launched = simulate_hedged_arrivals(
+            self.policy, arrival_times, servers.shape[1], launch
+        )
+        return finish_at - arrival_times, launched
 
     # ------------------------------------------------------------------ #
     # Event-driven implementation (validation / extension template)
@@ -248,40 +344,137 @@ class ReplicatedQueueingModel:
         servers = [Server(sim, name=f"server-{i}") for i in range(self.num_servers)]
         first_completion = np.full(num_requests, np.inf)
 
+        if self._eager_k is not None:
+
+            def on_complete(job, _start, finish):
+                request_index, arrival = job
+                elapsed = finish - arrival
+                if elapsed < first_completion[request_index]:
+                    first_completion[request_index] = elapsed
+
+            def submit(request_index: int):
+                arrival = arrival_times[request_index]
+                for j in range(self.copies):
+                    servers[servers_choice[request_index, j]].submit(
+                        (request_index, arrival),
+                        float(service_times[request_index, j]),
+                        on_complete,
+                    )
+
+            for i in range(num_requests):
+                sim.schedule_at(float(arrival_times[i]), submit, i)
+            sim.run()
+
+            response = first_completion
+            if self.copies > 1 and self.client_overhead > 0:
+                response = response + self.client_overhead * (self.copies - 1)
+            total_launched = num_requests * self.copies
+        else:
+            launched = self._run_policy_events(
+                sim, servers, arrival_times, servers_choice, service_times, first_completion
+            )
+            response = first_completion
+            if self.client_overhead > 0:
+                response = response + self.client_overhead * (launched - 1)
+            total_launched = int(launched.sum())
+        start = int(num_requests * warmup_fraction)
+        return QueueingResults(
+            response_times=response[start:],
+            load=load,
+            copies=self.copies,
+            policy_spec=self.policy_spec,
+            copies_launched=total_launched,
+        )
+
+    def _run_policy_events(
+        self,
+        sim: Simulator,
+        servers: List[Server],
+        arrival_times: np.ndarray,
+        servers_choice: np.ndarray,
+        service_times: np.ndarray,
+        first_completion: np.ndarray,
+    ) -> np.ndarray:
+        """Event-driven execution of a non-eager policy, with cancel-on-win.
+
+        Each request's first copy is submitted at its arrival; backup copies
+        are scheduled after the policy's launch delays and *suppressed* if the
+        request completed in the meantime.  When the first copy completes and
+        the plan says ``cancel_on_win``, losing copies still waiting in a
+        server queue are withdrawn (a copy already in service runs to
+        completion — cancellation saves queueing, not work under way).
+        Completed latencies are fed back to the policy in simulated-time
+        order, so adaptive policies adapt exactly as they would live.
+
+        Returns:
+            Per-request counts of copies actually dispatched to a server.
+        """
+        num_requests = arrival_times.shape[0]
+        launched = np.zeros(num_requests, dtype=np.int64)
+        completed = np.zeros(num_requests, dtype=bool)
+        cancel_on_win = np.zeros(num_requests, dtype=bool)
+        queue_entries: dict[int, List[Tuple[Server, object]]] = {}
+
         def on_complete(job, _start, finish):
             request_index, arrival = job
             elapsed = finish - arrival
             if elapsed < first_completion[request_index]:
                 first_completion[request_index] = elapsed
+            if not completed[request_index]:
+                completed[request_index] = True
+                self.policy.record_latency(float(elapsed))
+                if cancel_on_win[request_index]:
+                    for server, entry in queue_entries.pop(request_index, ()):
+                        if server.cancel(entry):
+                            # A withdrawn copy consumes no service and yields
+                            # no response, so it costs no client overhead.
+                            launched[request_index] -= 1
+                else:
+                    queue_entries.pop(request_index, None)
 
-        def submit(request_index: int):
-            arrival = arrival_times[request_index]
-            for j in range(self.copies):
-                servers[servers_choice[request_index, j]].submit(
-                    (request_index, arrival),
-                    float(service_times[request_index, j]),
-                    on_complete,
-                )
+        def submit_copy(request_index: int, copy: int) -> None:
+            if copy > 0 and completed[request_index]:
+                return  # the hedge is suppressed: the request already finished
+            server = servers[servers_choice[request_index, copy]]
+            entry = server.submit(
+                (request_index, arrival_times[request_index]),
+                float(service_times[request_index, copy]),
+                on_complete,
+            )
+            launched[request_index] += 1
+            queue_entries.setdefault(request_index, []).append((server, entry))
+
+        def submit(request_index: int) -> None:
+            plan = self.policy.plan()
+            cancel_on_win[request_index] = plan.cancel_on_win
+            delays = plan.launch_delays[: self.copies]
+            submit_copy(request_index, 0)
+            for copy, delay in enumerate(delays[1:], start=1):
+                sim.schedule(float(delay), submit_copy, request_index, copy)
 
         for i in range(num_requests):
             sim.schedule_at(float(arrival_times[i]), submit, i)
         sim.run()
-
-        response = first_completion
-        if self.copies > 1 and self.client_overhead > 0:
-            response = response + self.client_overhead * (self.copies - 1)
-        start = int(num_requests * warmup_fraction)
-        return QueueingResults(response_times=response[start:], load=load, copies=self.copies)
+        return launched
 
     # ------------------------------------------------------------------ #
 
     def _validate_load(self, load: float) -> None:
         if load <= 0:
             raise ConfigurationError(f"load must be positive, got {load!r}")
-        if self.copies * load >= 1.0:
+        if self._eager_k is not None:
+            if self.copies * load >= 1.0:
+                raise CapacityError(
+                    f"replicated utilisation {self.copies * load:.3f} >= 1: "
+                    "the model has no steady state at this load"
+                )
+        elif load >= 1.0:
+            # Hedging launches backups only for slow requests, so the true
+            # utilisation lies between `load` and `max_copies * load`; only
+            # the unconditional lower bound can be rejected up front.
             raise CapacityError(
-                f"replicated utilisation {self.copies * load:.3f} >= 1: "
-                "the model has no steady state at this load"
+                f"base utilisation {load:.3f} >= 1: the system is overloaded "
+                "even before any hedged copies are launched"
             )
 
     def _validate_run(

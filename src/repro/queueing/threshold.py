@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.policy import PolicyLike, eager_copies, parse_policy
 from repro.distributions.base import Distribution
 from repro.exceptions import ConfigurationError
 from repro.queueing.mg1 import (
@@ -46,18 +47,27 @@ THRESHOLD_UPPER_BOUND: float = 0.5
 def replication_benefit_at(
     service: Distribution,
     load: float,
-    copies: int = 2,
+    copies: Optional[int] = None,
     num_servers: int = 10,
     num_requests: int = 40_000,
     client_overhead: float = 0.0,
     seed: int = 0,
+    policy: Optional[PolicyLike] = None,
 ) -> float:
     """Mean-latency benefit of replication at one load (positive = helps).
 
-    Runs the fast simulator once without replication and once with ``copies``
-    copies (sharing the arrival stream for a paired comparison) and returns
-    ``mean_1copy - mean_kcopies``.
+    Runs the fast simulator once without replication and once with the
+    replicated configuration — ``copies`` eager copies, or any
+    :class:`~repro.core.policy.ReplicationPolicy` via ``policy=`` — sharing
+    the arrival stream for a paired comparison, and returns
+    ``mean_1copy - mean_replicated``.
+
+    For adaptive policies pass a *spec string* (e.g. ``"hedge:p95"``) rather
+    than a policy object: specs are re-parsed per run, so every simulation
+    starts from fresh policy state.
     """
+    if copies is None and policy is None:
+        copies = 2
     baseline_model = ReplicatedQueueingModel(
         service, num_servers=num_servers, copies=1, seed=seed
     )
@@ -67,6 +77,7 @@ def replication_benefit_at(
         copies=copies,
         client_overhead=client_overhead,
         seed=seed,
+        policy=policy,
     )
     baseline = baseline_model.run_fast(load, num_requests=num_requests)
     replicated = replicated_model.run_fast(load, num_requests=num_requests)
@@ -75,7 +86,7 @@ def replication_benefit_at(
 
 def threshold_load(
     service: Distribution,
-    copies: int = 2,
+    copies: Optional[int] = None,
     num_servers: int = 10,
     num_requests: int = 40_000,
     client_overhead: float = 0.0,
@@ -83,6 +94,7 @@ def threshold_load(
     tolerance: float = 0.01,
     low: float = 0.02,
     high: Optional[float] = None,
+    policy: Optional[PolicyLike] = None,
 ) -> float:
     """Estimate the threshold load by bisection on simulated mean latencies.
 
@@ -93,7 +105,8 @@ def threshold_load(
 
     Args:
         service: Service-time distribution.
-        copies: Replication factor (>= 2).
+        copies: Eager replication factor (>= 2); mutually exclusive with
+            ``policy`` and defaulting to the paper's 2 when neither is given.
         num_servers: Number of servers in the simulated system.
         num_requests: Requests per simulation run (larger = less noise).
         client_overhead: Fixed client-side overhead added to replicated
@@ -101,19 +114,37 @@ def threshold_load(
         seed: Base seed (paired across the two arms).
         tolerance: Bisection stops when the bracket is narrower than this.
         low: Lowest load probed.
-        high: Highest load probed; defaults to just under ``1/copies`` (the
-            hard upper bound imposed by capacity).
+        high: Highest load probed; defaults to just under ``1/max_copies``
+            for eager policies (the hard capacity bound) and to just under
+            the single-copy capacity for hedging policies, whose backups
+            launch only for slow requests.
+        policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+            string whose threshold is sought.  Pass adaptive policies as spec
+            strings so each probed load starts from fresh policy state.
 
     Returns:
         The estimated threshold load.  If replication already hurts at ``low``
         the function returns 0.0; if it still helps at ``high`` it returns
         ``high`` (i.e. the threshold is at least the capacity bound).
     """
-    if copies < 2:
-        raise ConfigurationError(f"threshold load needs copies >= 2, got {copies!r}")
+    if policy is not None:
+        if copies is not None:
+            raise ConfigurationError("pass either policy= or copies=, not both")
+        resolved = parse_policy(policy)
+        if resolved.max_copies < 2:
+            raise ConfigurationError(
+                f"threshold load needs a policy that replicates; "
+                f"{policy!r} launches at most {resolved.max_copies} copy"
+            )
+        capacity_copies = resolved.max_copies if eager_copies(resolved) else 1
+    else:
+        copies = 2 if copies is None else copies
+        if copies < 2:
+            raise ConfigurationError(f"threshold load needs copies >= 2, got {copies!r}")
+        capacity_copies = copies
     if high is None:
-        high = 1.0 / copies - 0.02
-    if not 0.0 < low < high < 1.0 / copies:
+        high = 1.0 / capacity_copies - 0.02
+    if not 0.0 < low < high < 1.0 / capacity_copies:
         raise ConfigurationError(
             f"need 0 < low < high < 1/copies, got low={low!r}, high={high!r}"
         )
@@ -127,6 +158,7 @@ def threshold_load(
             num_requests=num_requests,
             client_overhead=client_overhead,
             seed=seed,
+            policy=policy,
         )
 
     benefit_low = benefit(low)

@@ -13,12 +13,14 @@
 from repro.wan.loss import CorrelatedLossChannel, PAIR_LOSS_PROBABILITY, SINGLE_LOSS_PROBABILITY
 from repro.wan.handshake import (
     HandshakeModel,
+    HandshakePolicyResult,
     HandshakeResult,
     handshake_cost_benefit,
 )
 from repro.wan.dns import (
     DnsExperiment,
     DnsExperimentConfig,
+    DnsPolicyResult,
     DnsServerModel,
     VantagePoint,
 )
@@ -29,9 +31,11 @@ __all__ = [
     "CorrelatedLossChannel",
     "HandshakeModel",
     "HandshakeResult",
+    "HandshakePolicyResult",
     "handshake_cost_benefit",
     "DnsServerModel",
     "VantagePoint",
     "DnsExperimentConfig",
+    "DnsPolicyResult",
     "DnsExperiment",
 ]

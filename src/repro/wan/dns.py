@@ -22,17 +22,33 @@ paper's result:
   (rather than unbounded) tail reductions.
 
 All Figure 15-17 quantities are computed by :class:`DnsExperiment`.
+
+Beyond the paper's eager "query the best k in parallel",
+:meth:`DnsExperiment.run_policy` evaluates any
+:class:`~repro.core.policy.ReplicationPolicy`: ``"hedge:50ms"`` queries the
+best-ranked server and sends the query to the next-ranked server only if no
+response arrived within 50 ms, which preserves most of the tail benefit at a
+fraction of the extra queries.  Eager policies (``"k2"``) reuse the exact
+sample streams of :meth:`DnsExperiment.run`, so ``policy="k2"`` is
+byte-identical to ``copies_list=[2]``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
 from repro.core.costbenefit import CostBenefitAnalysis, marginal_cost_benefit
+from repro.core.policy import (
+    PolicyLike,
+    ReplicationPolicy,
+    eager_copies,
+    parse_policy,
+    policy_to_spec,
+)
 from repro.exceptions import ConfigurationError
 from repro.metrics import LatencyRecorder
 from repro.sim.rng import substream
@@ -219,6 +235,70 @@ class DnsResults:
         return marginal_cost_benefit(latencies, self.config.bytes_per_extra_server)
 
 
+@dataclass(frozen=True)
+class DnsPolicyResult:
+    """Outcome of evaluating one replication policy over every vantage point.
+
+    Attributes:
+        config: The experiment configuration.
+        policy_spec: Canonical spec of the evaluated policy (``None`` for
+            policies the spec language cannot express).
+        samples: Response-time samples under the policy, pooled across
+            vantage points.
+        best_single_samples: The best-single-server baseline samples, pooled
+            (identical streams to :class:`DnsResults` — policies share the
+            baseline).
+        reduction_percent: Average (over vantage points) percentage reduction
+            of each metric (``"mean"``, ``"median"``, ``"p95"``, ``"p99"``)
+            versus the best single server.
+        queries_launched: Total queries actually sent across all vantage
+            points and trials — the policy's traffic cost.  The eager ``k``
+            policy sends ``k`` per trial; hedging sends between 1 and
+            ``max_copies``.
+        num_trials: Total stage-2 trials the samples pool over.
+    """
+
+    config: DnsExperimentConfig
+    policy_spec: Optional[str]
+    samples: np.ndarray
+    best_single_samples: np.ndarray
+    reduction_percent: Dict[str, float]
+    queries_launched: int
+    num_trials: int
+    _recorders: Dict[str, LatencyRecorder] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _recorder(self, which: str) -> LatencyRecorder:
+        recorder = self._recorders.get(which)
+        if recorder is None:
+            samples = self.samples if which == "policy" else self.best_single_samples
+            recorder = LatencyRecorder.from_samples(samples, name=f"dns-{which}")
+            self._recorders[which] = recorder
+        return recorder
+
+    @property
+    def mean_queries_per_trial(self) -> float:
+        """Average queries sent per trial (the extra-traffic axis of Figure 17)."""
+        return self.queries_launched / self.num_trials if self.num_trials else 0.0
+
+    def summary(self) -> LatencySummary:
+        """Pooled latency summary under the policy."""
+        return self._recorder("policy").summary()
+
+    def fraction_later_than(self, threshold_s: float) -> float:
+        """Fraction of queries slower than ``threshold_s`` under the policy."""
+        return self._recorder("policy").fraction_later_than(threshold_s)
+
+    def tail_improvement(self, threshold_s: float) -> float:
+        """How many times rarer late responses are than the best-single baseline."""
+        base = self._recorder("baseline").fraction_later_than(threshold_s)
+        replicated = self.fraction_later_than(threshold_s)
+        if replicated == 0:
+            return float("inf")
+        return base / replicated
+
+
 class DnsExperiment:
     """Builds the synthetic vantage points and runs the two-stage protocol."""
 
@@ -346,4 +426,133 @@ class DnsExperiment:
             samples_by_copies={k: np.concatenate(arrays) for k, arrays in pooled.items()},
             best_single_samples=np.concatenate(best_single),
             reduction_percent=reduction_percent,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Policy-first evaluation (hedged querying, beyond the paper)
+    # ------------------------------------------------------------------ #
+
+    def _stage2_samples_policy(
+        self, vantage: VantagePoint, ranking: Sequence[int], policy: ReplicationPolicy
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stage-2 samples under a non-eager policy, with backup suppression.
+
+        Queries are sequential, so each trial's response is fed back to the
+        policy before the next trial — adaptive (percentile) hedging adapts
+        exactly as a live client would.  A backup to the next-ranked server
+        launches only if no response arrived before its hedge delay; the
+        vantage-local problem delays every copy equally and therefore does not
+        trigger extra backups (the client is stalled, not the servers).
+
+        Returns:
+            ``(samples, queries_launched)`` arrays, one entry per trial.
+        """
+        config = self.config
+        try:
+            stream_key = policy_to_spec(policy)
+        except ConfigurationError:
+            stream_key = type(policy).__name__
+        rng = substream(config.seed, "stage2-policy", vantage.name, stream_key)
+        count = config.stage2_queries_per_config
+        max_copies = min(int(policy.max_copies), config.num_servers)
+        chosen = list(ranking[:max_copies])
+        per_server = np.stack(
+            [vantage.servers[s].sample(rng, count, config.timeout_s) for s in chosen], axis=1
+        )
+        local = rng.random(count) < vantage.local_problem_probability
+        local_extra = rng.exponential(vantage.local_problem_mean_s, count) * local
+
+        samples = np.empty(count)
+        launched = np.zeros(count, dtype=np.int64)
+        for i in range(count):
+            delays = policy.plan().launch_delays[:max_copies]
+            best = np.inf
+            sent = 0
+            for j, delay in enumerate(delays):
+                if j > 0 and best <= delay:
+                    continue  # a response already arrived: the backup is suppressed
+                sent += 1
+                response = delay + per_server[i, j]
+                if response < best:
+                    best = response
+            value = min(best + local_extra[i], config.timeout_s)
+            samples[i] = value
+            launched[i] = sent
+            policy.record_latency(float(value))
+        return samples, launched
+
+    def run_policy(self, policy: PolicyLike) -> DnsPolicyResult:
+        """Evaluate one replication policy at every vantage point.
+
+        Eager policies (``"none"``, ``"k2"``, ...) reuse the exact stage-2
+        sample streams of :meth:`run`, so their pooled samples are
+        byte-identical to ``run(copies_list=[k])``; hedging policies take the
+        suppression-aware path of :meth:`_stage2_samples_policy`.
+
+        Args:
+            policy: A :class:`~repro.core.policy.ReplicationPolicy` or spec
+                string (``"k2"``, ``"hedge:50ms"``, ``"hedge:p95"``).
+
+        Returns:
+            A :class:`DnsPolicyResult` pooling samples across vantage points.
+        """
+        config = self.config
+        resolved = parse_policy(policy)
+        if resolved.max_copies > config.num_servers:
+            raise ConfigurationError(
+                f"policy wants up to {resolved.max_copies} copies but only "
+                f"{config.num_servers} servers exist"
+            )
+        eager = eager_copies(resolved)
+        count = config.stage2_queries_per_config
+
+        pooled: List[np.ndarray] = []
+        best_single: List[np.ndarray] = []
+        reductions: Dict[str, List[float]] = {
+            metric: [] for metric in ("mean", "median", "p95", "p99")
+        }
+        queries_launched = 0
+
+        def vantage_stats(samples: np.ndarray) -> Dict[str, float]:
+            s = LatencyRecorder.from_samples(samples, name="dns-vantage").summary()
+            return {"mean": s.mean, "median": s.p50, "p95": s.p95, "p99": s.p99}
+
+        for vantage in self.vantage_points:
+            ranking = self.rank_servers(vantage)
+            baseline = self._stage2_samples(vantage, ranking, 1)
+            best_single.append(baseline)
+            if eager is not None:
+                samples = (
+                    baseline
+                    if eager == 1
+                    else self._stage2_samples(vantage, ranking, eager)
+                )
+                queries_launched += eager * count
+            else:
+                samples, launched = self._stage2_samples_policy(vantage, ranking, resolved)
+                queries_launched += int(launched.sum())
+            pooled.append(samples)
+            baseline_stats = vantage_stats(baseline)
+            stats = vantage_stats(samples)
+            for metric, base_value in baseline_stats.items():
+                if base_value > 0:
+                    reductions[metric].append(
+                        100.0 * (base_value - stats[metric]) / base_value
+                    )
+
+        try:
+            spec: Optional[str] = policy_to_spec(resolved)
+        except ConfigurationError:
+            spec = None
+        return DnsPolicyResult(
+            config=config,
+            policy_spec=spec,
+            samples=np.concatenate(pooled),
+            best_single_samples=np.concatenate(best_single),
+            reduction_percent={
+                metric: float(np.mean(values)) if values else 0.0
+                for metric, values in reductions.items()
+            },
+            queries_launched=queries_launched,
+            num_trials=count * len(self.vantage_points),
         )

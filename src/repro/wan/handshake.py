@@ -18,11 +18,12 @@ converted into the paper's ms/KB cost-effectiveness unit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.costbenefit import CostBenefitAnalysis, DEFAULT_BREAK_EVEN_MS_PER_KB
+from repro.core.policy import PolicyLike, eager_copies, parse_policy, policy_to_spec
 from repro.exceptions import ConfigurationError
 from repro.metrics import LatencyRecorder
 from repro.wan.loss import PAIR_LOSS_PROBABILITY, SINGLE_LOSS_PROBABILITY
@@ -45,6 +46,31 @@ class HandshakeResult:
     p99: float
     p999: float
     loss_probability: float
+
+
+@dataclass(frozen=True)
+class HandshakePolicyResult:
+    """Monte-Carlo summary of handshake completion under a replication policy.
+
+    Attributes:
+        policy_spec: Canonical spec of the policy (``None`` if inexpressible).
+        mean: Mean handshake completion time in seconds.
+        p99: 99th-percentile completion time in seconds.
+        p999: 99.9th-percentile completion time in seconds.
+        backup_packets_per_handshake: Average number of duplicate packets the
+            policy actually sent per handshake — the traffic cost.  Eager
+            duplication pays ``(copies - 1) * 3``; deferred hedging pays only
+            for packets whose response was still outstanding at the hedge
+            delay.
+        num_samples: Monte-Carlo sample count.
+    """
+
+    policy_spec: Optional[str]
+    mean: float
+    p99: float
+    p999: float
+    backup_packets_per_handshake: float
+    num_samples: int
 
 
 class HandshakeModel:
@@ -190,6 +216,128 @@ class HandshakeModel:
             p99=summary.p99,
             p999=summary.p999,
             loss_probability=self.loss_probability(copies),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Policy-first evaluation (deferred duplication, beyond the paper)
+    # ------------------------------------------------------------------ #
+
+    def sample_completion_times_policy(
+        self,
+        policy: PolicyLike,
+        num_samples: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Monte-Carlo completion times under a replication policy.
+
+        Eager policies delegate to :meth:`sample_completion_times` (identical
+        bytes for identical ``rng`` state).  A :class:`HedgeAfterDelay` policy
+        models *deferred* duplication: the duplicate of each handshake packet
+        is sent only once the packet has gone ``delay`` seconds without a
+        response (the sender learns of delivery one RTT after sending), and
+        never after the attempt's retransmission timer would fire anyway.
+        Because the two copies are separated in time rather than back-to-back,
+        their losses are independent (probability ``single_loss`` each) instead
+        of correlated (``pair_loss``) — deferred duplication trades added
+        recovery delay for escaping burst loss and for sending far fewer
+        duplicate packets.
+
+        Args:
+            policy: A policy object or spec string; must be static (adaptive
+                percentile hedging has no per-handshake latency feedback loop
+                at the packet layer).
+            num_samples: Number of handshakes to simulate.
+            rng: Random generator (fresh default if omitted).
+
+        Returns:
+            ``(completion_times, backup_packets_sent)`` — the per-handshake
+            completion times and the total number of duplicate packets sent
+            across all samples.
+
+        Raises:
+            ConfigurationError: For adaptive policies.
+        """
+        resolved = parse_policy(policy)
+        eager = eager_copies(resolved)
+        if eager is not None:
+            samples = self.sample_completion_times(eager, num_samples, rng)
+            return samples, (eager - 1) * 3 * num_samples
+        if not resolved.is_static:
+            raise ConfigurationError(
+                "the handshake model supports static policies only ('none', "
+                "'k<N>', 'hedge:<delay>'): packet duplication has no "
+                "per-request latency feedback loop"
+            )
+        if num_samples < 1:
+            raise ConfigurationError("num_samples must be >= 1")
+        rng = rng if rng is not None else np.random.default_rng()
+        delays = resolved.plan().launch_delays
+        loss = self.single_loss
+        total = np.zeros(num_samples)
+        backups_sent = 0
+        for initial_timeout in self._packet_timeouts():
+            remaining = np.arange(num_samples)
+            waited = np.zeros(num_samples)
+            arrival = np.zeros(num_samples)
+            for attempt in range(self.max_retries + 1):
+                if remaining.size == 0:
+                    break
+                if attempt == self.max_retries:
+                    # Same truncation as the eager Monte-Carlo: the final
+                    # attempt is assumed to succeed.
+                    arrival[remaining] = waited[remaining] + self.rtt / 2.0
+                    break
+                timeout_now = initial_timeout * (2.0 ** attempt)
+                count = remaining.size
+                delivered = rng.random(count) >= loss
+                deliver_at = np.where(delivered, self.rtt / 2.0, np.inf)
+                response_at = np.where(delivered, self.rtt, np.inf)
+                for delay in delays[1:]:
+                    # The duplicate goes out only if no response arrived by
+                    # its hedge delay and the retransmission timer has not
+                    # already taken over.
+                    sendable = (response_at > delay) & (delay < timeout_now)
+                    backups_sent += int(sendable.sum())
+                    delivered_backup = sendable & (rng.random(count) >= loss)
+                    deliver_at = np.where(
+                        delivered_backup,
+                        np.minimum(deliver_at, delay + self.rtt / 2.0),
+                        deliver_at,
+                    )
+                    response_at = np.where(
+                        delivered_backup,
+                        np.minimum(response_at, delay + self.rtt),
+                        response_at,
+                    )
+                success = np.isfinite(deliver_at)
+                done = remaining[success]
+                arrival[done] = waited[done] + deliver_at[success]
+                failed = remaining[~success]
+                waited[failed] += timeout_now
+                remaining = failed
+            total += arrival
+        return total, backups_sent
+
+    def policy_result(
+        self, policy: PolicyLike, num_samples: int = 200_000, seed: int = 0
+    ) -> HandshakePolicyResult:
+        """Monte-Carlo summary for one policy (the policy analogue of :meth:`result`)."""
+        resolved = parse_policy(policy)
+        samples, backups = self.sample_completion_times_policy(
+            resolved, num_samples, np.random.default_rng(seed)
+        )
+        summary = LatencyRecorder.from_samples(samples, name="handshake").summary()
+        try:
+            spec: Optional[str] = policy_to_spec(resolved)
+        except ConfigurationError:
+            spec = None
+        return HandshakePolicyResult(
+            policy_spec=spec,
+            mean=summary.mean,
+            p99=summary.p99,
+            p999=summary.p999,
+            backup_packets_per_handshake=backups / num_samples,
+            num_samples=num_samples,
         )
 
 

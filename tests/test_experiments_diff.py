@@ -171,3 +171,57 @@ class TestDiffCli:
             handle.writelines(lines[:-1])
         assert cli_main(["diff", json_path, jsonl_path]) == 2
         assert "incomplete" in capsys.readouterr().err
+
+
+class TestFailThreshold:
+    """``diff --fail-threshold`` turns the comparison into a CI gate."""
+
+    def _write_artifacts(self, tmp_path, seed_b=1):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        SweepRunner().run(tiny_scenario([0.1, 0.2], seed=1)).to_json(a)
+        SweepRunner().run(tiny_scenario([0.1, 0.2], seed=seed_b)).to_json(b)
+        return a, b
+
+    def test_identical_artifacts_pass_zero_threshold(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path, seed_b=1)
+        assert cli_main(["diff", a, b, "--fail-threshold", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "deltas within 0%" in out
+
+    def test_vacuous_comparison_fails_the_gate(self, tmp_path, capsys):
+        # A typo'd --columns name compares nothing — that must fail loudly,
+        # not read as a green gate.
+        a, b = self._write_artifacts(tmp_path, seed_b=1)
+        code = cli_main(["diff", a, b, "--columns", "maen", "--fail-threshold", "0"])
+        assert code == 1
+        assert "no numeric value pairs were compared" in capsys.readouterr().err
+
+    def test_reseeded_artifacts_fail_tight_threshold(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path, seed_b=2)
+        assert cli_main(["diff", a, b, "--fail-threshold", "0.01"]) == 1
+        err = capsys.readouterr().err
+        assert "FAIL" in err and "largest delta" in err
+
+    def test_loose_threshold_tolerates_noise(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path, seed_b=2)
+        assert cli_main(["diff", a, b, "--fail-threshold", "1000"]) == 0
+
+    def test_unmatched_points_fail_the_gate(self, tmp_path, capsys):
+        a = str(tmp_path / "a.json")
+        b = str(tmp_path / "b.json")
+        SweepRunner().run(tiny_scenario([0.1, 0.2])).to_json(a)
+        SweepRunner().run(tiny_scenario([0.2, 0.3])).to_json(b)
+        assert cli_main(["diff", a, b, "--fail-threshold", "1000"]) == 1
+        assert "unmatched point(s)" in capsys.readouterr().err
+
+    def test_negative_threshold_rejected(self, tmp_path, capsys):
+        a, b = self._write_artifacts(tmp_path)
+        assert cli_main(["diff", a, b, "--fail-threshold", "-1"]) == 2
+        assert "--fail-threshold" in capsys.readouterr().err
+
+    def test_max_relative_delta_api(self, tmp_path):
+        a, b = self._write_artifacts(tmp_path, seed_b=2)
+        diff = load_sweep_artifact(a).diff(load_sweep_artifact(b))
+        assert diff.max_relative_delta() > 0.0
+        assert load_sweep_artifact(a).diff(load_sweep_artifact(a)).max_relative_delta() == 0.0
