@@ -1,0 +1,78 @@
+"""Fleet smoke: sharded sweep + merge vs the single-machine run.
+
+Not a paper figure — this benchmark exercises the multi-machine path
+(`EXPERIMENTS.md` → "Running paper-tier sweeps across machines") at benchmark
+scale and pins its two guarantees:
+
+* merging the N shard artifacts is **byte-identical** to the single-machine
+  artifact, for a merge given the shards out of order;
+* the canonical artifacts carry no wall-clock data — timing lives in the
+  sidecars, whose per-shard totals are printed here as the shard-balance
+  view `timing-report` gives a fleet operator.
+"""
+
+import os
+import tempfile
+
+from conftest import run_once
+
+from repro.analysis import ResultTable
+from repro.experiments import (
+    SweepRunner,
+    get_scenario,
+    load_timing,
+    merge_artifacts,
+    timing_sidecar_path,
+)
+
+SHARDS = 3
+#: The paper's full DNS matrix, stage-2 sampling scaled down for suite speed.
+OVERRIDES = {"stage2_queries": 400}
+
+
+def test_sharded_dns_matrix_merges_byte_identically(benchmark):
+    scenario = get_scenario("paper-dns-matrix")
+
+    def compute():
+        with tempfile.TemporaryDirectory() as tmpdir:
+            single = os.path.join(tmpdir, "single.jsonl")
+            SweepRunner(workers=1).run(scenario, overrides=OVERRIDES, out=single)
+            shard_paths = []
+            for index in range(1, SHARDS + 1):
+                path = os.path.join(tmpdir, f"shard{index}.jsonl")
+                SweepRunner(workers=1).run(
+                    scenario, overrides=OVERRIDES, out=path, shard=(index, SHARDS)
+                )
+                shard_paths.append(path)
+            merged = os.path.join(tmpdir, "merged.jsonl")
+            merge_artifacts(merged, list(reversed(shard_paths)))
+            with open(single, "rb") as handle:
+                single_bytes = handle.read()
+            with open(merged, "rb") as handle:
+                merged_bytes = handle.read()
+            timing = [load_timing(timing_sidecar_path(p)) for p in shard_paths]
+            return single_bytes, merged_bytes, timing
+
+    single_bytes, merged_bytes, timing = run_once(benchmark, compute)
+
+    table = ResultTable(
+        ["shard", "points", "total wall-clock (s)", "max point (s)"],
+        title=f"paper-dns-matrix split {SHARDS} ways (stage2_queries={OVERRIDES['stage2_queries']})",
+    )
+    for header, records in timing:
+        elapsed = [r["elapsed_s"] for r in records]
+        stanza = header["shard"]
+        table.add_row(**{
+            "shard": f"{stanza['index']}/{stanza['count']}",
+            "points": len(records),
+            "total wall-clock (s)": round(sum(elapsed), 3),
+            "max point (s)": round(max(elapsed), 3) if elapsed else 0.0,
+        })
+    print("\n" + table.to_text())
+
+    # The headline guarantee: merge == single machine, byte for byte.
+    assert merged_bytes == single_bytes
+    # Timing stays out-of-band: the canonical bytes are clock-free ...
+    assert b"elapsed" not in merged_bytes
+    # ... while every point's wall-clock was captured across the sidecars.
+    assert sum(len(records) for _header, records in timing) == scenario.num_points()

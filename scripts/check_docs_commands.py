@@ -9,11 +9,13 @@ code blocks of ``EXPERIMENTS.md`` and ``README.md`` and executes each one:
 * ``run`` commands are shrunk to smoke size — ``--workers 1``, ``--quiet``,
   artifact paths redirected into a temp directory, and per-entry-point tiny
   overrides (``num_requests=300`` etc.) appended for any base parameter the
-  documented command does not set itself;
-* ``diff`` commands have their artifact arguments resolved against (a) real
-  repository files (the checked-in golden artifact) and (b) the redirected
-  artifacts produced by earlier documented ``run`` commands — so a documented
-  ``diff`` only works if the docs also document producing its inputs.
+  documented command does not set itself; ``--shard I/N`` is preserved, and a
+  ``.jsonl`` out registers its ``.timing.jsonl`` sidecar too;
+* ``diff`` / ``merge`` / ``timing-report`` commands have their artifact (and
+  sidecar) arguments resolved against (a) real repository files (the
+  checked-in golden artifact) and (b) the redirected artifacts produced by
+  earlier documented ``run``/``merge`` commands — so a documented command
+  only works if the docs also document producing its inputs.
 
 It also fails if any registered scenario is missing from ``EXPERIMENTS.md``,
 so the catalogue and the reproduction guide cannot drift apart.
@@ -88,6 +90,7 @@ def split_args(command: str) -> List[str]:
 VALUE_FLAGS = {
     "--workers", "--chunk-size", "--out", "--csv", "--seed", "--set",
     "--columns", "--keys", "--labels", "--tier", "--fail-threshold",
+    "--shard", "--top",
 }
 
 
@@ -135,6 +138,12 @@ def rewrite_run(args: List[str], tmpdir: str, produced: Dict[str, str]) -> List[
             original = args[index + 1]
             redirected = os.path.join(tmpdir, os.path.basename(original))
             produced[os.path.basename(original)] = redirected
+            if token == "--out" and original.endswith(".jsonl"):
+                # A streamed run also writes its wall-clock timing sidecar;
+                # documented `timing-report` commands resolve against it.
+                produced[os.path.basename(original) + ".timing.jsonl"] = (
+                    redirected + ".timing.jsonl"
+                )
             out += [token, redirected]
             skip = True
             continue
@@ -149,21 +158,46 @@ def rewrite_run(args: List[str], tmpdir: str, produced: Dict[str, str]) -> List[
     return out
 
 
+def _resolve_input(token: str, produced: Dict[str, str], command: str) -> str:
+    if os.path.exists(os.path.join(REPO_ROOT, token)):
+        return os.path.join(REPO_ROOT, token)
+    if os.path.basename(token) in produced:
+        return produced[os.path.basename(token)]
+    raise SystemExit(
+        f"{command} example references {token!r}, which is neither a file in "
+        f"the repository nor an artifact produced by an earlier documented "
+        f"run/merge command"
+    )
+
+
 def rewrite_diff(args: List[str], produced: Dict[str, str]) -> List[str]:
     """Resolve a documented ``diff`` command's artifact paths."""
     out = list(args)
     for index in positionals(args)[:2]:
-        token = out[index]
-        if os.path.exists(os.path.join(REPO_ROOT, token)):
-            out[index] = os.path.join(REPO_ROOT, token)
-        elif os.path.basename(token) in produced:
-            out[index] = produced[os.path.basename(token)]
-        else:
-            raise SystemExit(
-                f"diff example references {token!r}, which is neither a file in "
-                f"the repository nor an artifact produced by an earlier "
-                f"documented run command"
-            )
+        out[index] = _resolve_input(out[index], produced, "diff")
+    return out
+
+
+def rewrite_merge(args: List[str], tmpdir: str, produced: Dict[str, str]) -> List[str]:
+    """Redirect a ``merge`` output into the temp dir; resolve its shard inputs."""
+    out = list(args)
+    spots = positionals(args)
+    if not spots:
+        raise SystemExit(f"merge example has no output path: {args}")
+    original = out[spots[0]]
+    redirected = os.path.join(tmpdir, os.path.basename(original))
+    produced[os.path.basename(original)] = redirected
+    out[spots[0]] = redirected
+    for index in spots[1:]:
+        out[index] = _resolve_input(out[index], produced, "merge")
+    return out
+
+
+def rewrite_timing_report(args: List[str], produced: Dict[str, str]) -> List[str]:
+    """Resolve a ``timing-report`` command's sidecar paths."""
+    out = list(args)
+    for index in positionals(args):
+        out[index] = _resolve_input(out[index], produced, "timing-report")
     return out
 
 
@@ -198,6 +232,10 @@ def main() -> int:
                     argv = rewrite_run(args, tmpdir, produced)
                 elif args[0] == "diff":
                     argv = rewrite_diff(args, produced)
+                elif args[0] == "merge":
+                    argv = rewrite_merge(args, tmpdir, produced)
+                elif args[0] == "timing-report":
+                    argv = rewrite_timing_report(args, produced)
                 else:
                     argv = args
                 printable = "python -m repro.experiments " + " ".join(argv)

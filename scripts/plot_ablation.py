@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Latency-vs-load frontier plots/tables for the hedging-ablation sweeps.
+
+The six ablation scenarios (``standard-queueing-policy-ablation``,
+``standard-db-hedging``, ``standard-memcached-hedging``,
+``standard-fattree-policy``, ``standard-handshake-hedging``,
+``paper-dns-hedged``) all sweep a ``policy`` axis — ``none`` / eager ``k2`` /
+fixed or adaptive hedges — over a load-like axis.  This script turns their
+sweep artifacts into the **frontier view**: for each load, which policy
+achieves the lowest latency, and by how much.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m repro.experiments run standard-db-hedging \\
+        --workers 4 --out db-hedging.json
+    PYTHONPATH=src python scripts/plot_ablation.py db-hedging.json \\
+        [more artifacts ...] [--metric mean] [--metric2 p99] [--png frontier.png]
+
+Output is text-first (a per-artifact table with the frontier policy starred,
+plus one ``frontier@`` summary line per load) so it needs nothing beyond the
+repository's own dependencies; ``--png`` renders the same series with
+matplotlib *if it is installed* and fails with a clear message otherwise.
+Artifacts may be whole-file ``.json``, streamed ``.jsonl``, or the
+byte-identical output of ``python -m repro.experiments merge`` — all load the
+same way.  See the "Hedging ablations" section of ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.analysis.tables import ResultTable  # noqa: E402
+from repro.exceptions import ReproError  # noqa: E402
+from repro.experiments.cli import _axis_value  # noqa: E402
+from repro.experiments.results import PointResult, SweepResult, load_sweep_artifact  # noqa: E402
+
+#: Axes (in preference order) that serve as the x-axis of the frontier.
+X_AXES = ("load", "rtt", "copies")
+
+
+def pick_x_axis(result: SweepResult, requested: Optional[str]) -> Optional[str]:
+    """The load-like axis of a sweep: ``--x`` if given, else the first of
+    ``load`` / ``rtt`` / ``copies`` present among the grid axes, else None
+    (a single-column sweep such as ``paper-dns-hedged``)."""
+    if requested:
+        if requested not in result.axes:
+            raise SystemExit(
+                f"--x {requested!r} is not an axis of {result.scenario!r} "
+                f"(axes: {list(result.axes)})"
+            )
+        return requested
+    for name in X_AXES:
+        if name in result.axes and name != "policy":
+            return name
+    return None
+
+
+def policy_of(point: PointResult) -> str:
+    """The point's policy spec, reconstructing ``copies``/``replication`` sugar."""
+    value = _axis_value(point, "policy")
+    return str(value) if value is not None else "none"
+
+
+def metric_of(point: PointResult, name: str) -> Optional[float]:
+    """The point's ``name`` value when present and numeric, else None."""
+    try:
+        value = point.value(name)
+    except ReproError:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def frontier_rows(
+    result: SweepResult, x_axis: Optional[str], metric: str
+) -> List[Tuple[Any, List[PointResult], Optional[PointResult]]]:
+    """Group ok points by x value: ``(x, points, frontier_point)``."""
+    grouped: Dict[Any, List[PointResult]] = {}
+    order: List[Any] = []
+    for point in result.ok_points():
+        x = point.params.get(x_axis) if x_axis else "-"
+        if x not in grouped:
+            grouped[x] = []
+            order.append(x)
+        grouped[x].append(point)
+    rows = []
+    for x in order:
+        numeric = [
+            (value, p) for p in grouped[x]
+            if (value := metric_of(p, metric)) is not None
+        ]
+        best = min(numeric, key=lambda pair: pair[0])[1] if numeric else None
+        rows.append((x, grouped[x], best))
+    return rows
+
+
+def report(result: SweepResult, x_axis: Optional[str], metrics: List[str]) -> None:
+    """Print the full ablation table (frontier starred) plus summary lines."""
+    primary = metrics[0]
+    x_label = x_axis or "sweep"
+    table = ResultTable(
+        [x_label, "policy"] + metrics + ["frontier"],
+        title=f"{result.scenario}: {primary} frontier vs {x_label} "
+              f"({len(result.ok_points())} ok points)",
+    )
+    rows = frontier_rows(result, x_axis, primary)
+    for x, points, best in rows:
+        for point in points:
+            row: Dict[str, Any] = {
+                x_label: x,
+                "policy": policy_of(point),
+                "frontier": "*" if point is best else "",
+            }
+            for name in metrics:
+                row[name] = metric_of(point, name)
+            table.add_row(**row)
+    print(table.to_text())
+    for x, points, best in rows:
+        if best is None:
+            continue
+        best_value = metric_of(best, primary)
+        baseline = next(
+            (metric_of(p, primary) for p in points if policy_of(p) == "none"), None
+        )
+        delta = (
+            f" ({100.0 * (best_value - baseline) / baseline:+.1f}% vs none)"
+            if baseline and policy_of(best) != "none"
+            else ""
+        )
+        print(
+            f"  frontier@{x_label}={x}: {policy_of(best)} "
+            f"({primary}={best_value:.4g}{delta})"
+        )
+    print()
+
+
+def render_png(
+    loaded: List[Tuple[str, SweepResult]],
+    x_arg: Optional[str],
+    metric: str,
+    path: str,
+) -> None:
+    """Render one latency-vs-load panel per artifact with matplotlib."""
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        raise SystemExit(
+            "--png needs matplotlib, which is not installed in this "
+            "environment; the text frontier tables above carry the same data"
+        )
+    fig, axes_list = plt.subplots(
+        1, len(loaded), figsize=(5.5 * len(loaded), 4.0), squeeze=False
+    )
+    for axis, (_path, result) in zip(axes_list[0], loaded):
+        x_axis = pick_x_axis(result, x_arg)
+        series: Dict[str, List[Tuple[Any, float]]] = {}
+        for point in result.ok_points():
+            value = metric_of(point, metric)
+            if value is None:
+                continue
+            x = point.params.get(x_axis) if x_axis else 0
+            series.setdefault(policy_of(point), []).append((x, value))
+        for policy, points in series.items():
+            points.sort()
+            axis.plot([x for x, _ in points], [v for _, v in points],
+                      marker="o", label=policy)
+        axis.set_title(result.scenario, fontsize=9)
+        axis.set_xlabel(x_axis or "")
+        axis.set_ylabel(metric)
+        axis.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "Latency-vs-load frontier tables (and optional PNG) for "
+            "policy-ablation sweep artifacts; see EXPERIMENTS.md."
+        ),
+    )
+    parser.add_argument(
+        "artifacts", nargs="+",
+        help="sweep artifacts (.json / .jsonl / merged) of policy-axis scenarios",
+    )
+    parser.add_argument(
+        "--metric", default="mean",
+        help="primary metric defining the frontier (default: mean)",
+    )
+    parser.add_argument(
+        "--metric2", default="p99",
+        help="secondary metric column shown alongside (default: p99)",
+    )
+    parser.add_argument(
+        "--x", default=None,
+        help="x axis (default: the first of load/rtt/copies in the grid)",
+    )
+    parser.add_argument("--png", default=None, metavar="PATH",
+                        help="also render a PNG (requires matplotlib)")
+    args = parser.parse_args(argv)
+
+    loaded = []
+    for path in args.artifacts:
+        try:
+            loaded.append((path, load_sweep_artifact(path)))
+        except (ReproError, OSError, ValueError) as exc:
+            raise SystemExit(f"cannot load {path!r}: {exc}")
+    metrics = [args.metric] + ([args.metric2] if args.metric2 else [])
+    for _path, result in loaded:
+        report(result, pick_x_axis(result, args.x), metrics)
+    if args.png:
+        render_png(loaded, args.x, args.metric, args.png)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,14 @@ ad-hoc loops:
 * :meth:`SweepResult.diff` / :class:`SweepDiff` — pair two artifacts of the
   same grid point-by-point and render "paper vs measured" columns
   (``python -m repro.experiments diff``);
+* sharding (:mod:`repro.experiments.sharding`) — ``run --shard I/N`` splits
+  one sweep across N machines along a deterministic seed-derived partition,
+  and ``merge`` recombines the shard artifacts into a file byte-identical to
+  the single-machine run;
+* timing sidecars (:mod:`repro.experiments.timing`) — every streamed run
+  writes per-point wall-clock seconds to ``<out>.timing.jsonl``
+  (``timing-report`` tabulates slowest points and per-shard totals) so the
+  canonical artifact itself never contains timing;
 * a registry of built-in scenarios in three tiers, from the CI smoke sweep
   to the paper-scale k=6 fat-tree / full DNS matrix / EC2-trace database
   runs (``python -m repro.experiments list --tier paper``).
@@ -44,6 +52,12 @@ from repro.experiments.results import (
     load_sweep_artifact,
 )
 from repro.experiments.runner import DEFAULT_CHUNK_SIZE, SweepRunner, run_scenario
+from repro.experiments.sharding import merge_artifacts, parse_shard, shard_of
+from repro.experiments.timing import (
+    TIMING_SCHEMA,
+    load_timing,
+    timing_sidecar_path,
+)
 from repro.experiments.registry import (
     all_scenarios,
     get_scenario,
@@ -55,6 +69,7 @@ __all__ = [
     "ADAPTERS",
     "DEFAULT_CHUNK_SIZE",
     "JSONL_SCHEMA",
+    "TIMING_SCHEMA",
     "ParameterGrid",
     "PointResult",
     "Scenario",
@@ -66,10 +81,15 @@ __all__ = [
     "get_scenario",
     "load_partial",
     "load_sweep_artifact",
+    "load_timing",
+    "merge_artifacts",
+    "parse_shard",
     "point_key",
     "point_seed",
     "register_scenario",
     "resolve_adapter",
     "run_scenario",
     "scenario_names",
+    "shard_of",
+    "timing_sidecar_path",
 ]

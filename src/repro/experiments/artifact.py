@@ -18,7 +18,19 @@ worker count, chunk size, or how many times the run was killed and resumed.
 :func:`load_partial` reads a possibly-truncated artifact back (a kill mid-write
 can leave half a line; the trailing fragment is discarded), returning the
 completed points keyed by their derived seed so a resumed run executes only
-the missing points.  See ``EXPERIMENTS.md`` for the CLI workflow.
+the missing points.
+
+Two invariants keep the bytes pure even across a fleet of machines:
+
+* a **sharded** run (:mod:`repro.experiments.sharding`) writes the same
+  point records with the same global grid indices; only the header's
+  ``shard`` stanza marks the file as partial, and ``merge`` removes it to
+  reconstruct the single-machine artifact byte-for-byte;
+* **wall-clock timing never appears in these files** — it is written to the
+  ``.timing.jsonl`` sidecar (:mod:`repro.experiments.timing`) so that two
+  runs of one scenario stay ``cmp``-equal no matter how long they took.
+
+See ``EXPERIMENTS.md`` for the CLI workflow.
 """
 
 from __future__ import annotations
@@ -59,9 +71,19 @@ def header_record(
     base_params: Dict[str, Any],
     axes: Dict[str, Any],
     num_points: int,
+    shard: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
-    """Build the header (first-line) record of a streaming artifact."""
-    return {
+    """Build the header (first-line) record of a streaming artifact.
+
+    ``num_points`` is always the **full grid** size — it identifies the sweep,
+    not the file.  A sharded run (``--shard I/N``) additionally carries a
+    ``shard`` stanza (``{"index", "count", "num_points"}``, the last being
+    the shard's own point count); the stanza is the *only* header difference
+    between a shard artifact and the single-machine artifact, which is what
+    lets ``merge`` reconstruct the single-machine header byte-for-byte by
+    dropping it.
+    """
+    record = {
         "kind": KIND_HEADER,
         "schema": JSONL_SCHEMA,
         "scenario": scenario,
@@ -72,6 +94,9 @@ def header_record(
         "axes": axes,
         "num_points": num_points,
     }
+    if shard is not None:
+        record["shard"] = shard
+    return record
 
 
 def point_record(point: Dict[str, Any]) -> Dict[str, Any]:
@@ -131,25 +156,40 @@ class ArtifactWriter:
         self.close()
 
 
-def _parse_lines(text: str, path: str) -> Tuple[Optional[Dict[str, Any]], Dict[int, Dict[str, Any]]]:
+def iter_complete_records(text: str, path: str) -> "list[Tuple[int, Dict[str, Any]]]":
+    """Parse the newline-terminated JSON records of a streamed file.
+
+    Returns ``(line_number, record)`` pairs.  A kill mid-write leaves a
+    trailing fragment with no newline; everything before the final newline
+    was flushed whole, so only the fragment (the last, non-empty,
+    unterminated element) is discarded — the write in flight when the run
+    died.  Any *other* malformed line raises: the streamed formats (artifact
+    and timing sidecar) never produce one.
+
+    Shared by :func:`load_partial` and the timing-sidecar loader so the
+    truncation-tolerance rules cannot drift between the two layouts.
+    """
     lines = text.split("\n")
-    # A kill mid-write leaves a trailing fragment with no newline; everything
-    # before the final newline was flushed whole, so only the fragment (the
-    # last, non-empty, unterminated element) may be discarded.
-    fragment = lines.pop()  # "" when the file ends in a newline
-    header: Optional[Dict[str, Any]] = None
-    points: Dict[int, Dict[str, Any]] = {}
+    lines.pop()  # trailing fragment; "" when the file ends in a newline
+    records = []
     for number, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
-            record = json.loads(line)
+            records.append((number, json.loads(line)))
         except json.JSONDecodeError as exc:
             raise ConfigurationError(
                 f"artifact {path!r} line {number} is not valid JSON ({exc}); "
                 f"only the final line of an interrupted artifact may be "
                 f"truncated — this file looks corrupted, delete it and rerun"
             ) from None
+    return records
+
+
+def _parse_lines(text: str, path: str) -> Tuple[Optional[Dict[str, Any]], Dict[int, Dict[str, Any]]]:
+    header: Optional[Dict[str, Any]] = None
+    points: Dict[int, Dict[str, Any]] = {}
+    for number, record in iter_complete_records(text, path):
         kind = record.get("kind")
         if number == 1:
             if kind != KIND_HEADER:
@@ -203,14 +243,16 @@ def validate_header(header: Dict[str, Any], expected: Dict[str, Any], path: str)
     """Check a loaded header describes the same sweep as ``expected``.
 
     Compares the identity fields (scenario, entry point, seed, base params,
-    axes, point count) after JSON canonicalisation, so a tuple-vs-list
-    difference between a live scenario and its serialised form does not
-    spuriously fail.
+    axes, point count, shard stanza) after JSON canonicalisation, so a
+    tuple-vs-list difference between a live scenario and its serialised form
+    does not spuriously fail.  The shard stanza is part of the identity: a
+    shard artifact only resumes under the same ``--shard I/N`` spec, and a
+    full artifact never resumes as a shard.
 
     Raises:
         ConfigurationError: Naming the first mismatching field.
     """
-    for name in ("scenario", "entry_point", "seed", "base_params", "axes", "num_points"):
+    for name in ("scenario", "entry_point", "seed", "base_params", "axes", "num_points", "shard"):
         have, want = canonicalize(header.get(name)), canonicalize(expected.get(name))
         if have != want:
             raise ConfigurationError(

@@ -5,6 +5,9 @@
     python -m repro.experiments list [--tier paper]
     python -m repro.experiments show <scenario>
     python -m repro.experiments run <scenario> --workers 4 --out results.jsonl [--resume]
+    python -m repro.experiments run <scenario> --shard 2/3 --out shard2.jsonl
+    python -m repro.experiments merge merged.jsonl shard1.jsonl shard2.jsonl shard3.jsonl
+    python -m repro.experiments timing-report shard1.jsonl.timing.jsonl [...]
     python -m repro.experiments diff golden.json fresh.jsonl
 
 ``run`` prints a compact result table and optionally writes artifacts: a
@@ -13,9 +16,15 @@ the sweep runs (resumable after a kill with ``--resume``); ``.json`` writes
 the canonical whole-file artifact at the end.  Because per-point seeds depend
 only on the scenario and the point parameters, the written artifacts are
 byte-identical for any ``--workers``/``--chunk-size`` value and any resume
-history.  ``diff`` loads two artifacts (either layout) and prints the
-paper-vs-measured comparison table.  ``EXPERIMENTS.md`` maps every paper
-figure to its scenario and exact command.
+history.  ``--shard I/N`` extends the same contract across machines: N hosts
+each run one shard of the grid (a deterministic seed-based partition, no
+coordination) and ``merge`` recombines the shard artifacts into a file
+byte-identical to the single-machine run.  Every streamed run also writes a
+wall-clock **timing sidecar** (``<out>.timing.jsonl``) that ``timing-report``
+tabulates — slowest points, per-shard totals — while the canonical artifact
+itself stays timing-free.  ``diff`` loads two artifacts (either layout) and
+prints the paper-vs-measured comparison table.  ``EXPERIMENTS.md`` maps every
+paper figure to its scenario and exact command.
 """
 
 from __future__ import annotations
@@ -32,6 +41,8 @@ from repro.experiments.registry import all_scenarios, get_scenario
 from repro.experiments.results import SweepResult, load_sweep_artifact
 from repro.experiments.runner import SweepRunner
 from repro.experiments.scenario import TIERS
+from repro.experiments.sharding import merge_artifacts, parse_shard
+from repro.experiments.timing import load_timing, sidecar_label, timing_sidecar_path
 
 
 def _parse_override(text: str) -> tuple:
@@ -130,6 +141,11 @@ def _format_duration(seconds: float) -> str:
     return f"{hours}h{minutes:02d}m"
 
 
+def _format_elapsed(seconds: float) -> str:
+    """Sub-minute values keep 3 significant digits; longer ones use 1m13s form."""
+    return f"{seconds:.3g}s" if seconds < 60 else _format_duration(seconds)
+
+
 def _make_progress(stream=None) -> Callable[[int, int], None]:
     """A live ``[done/total] pct · elapsed · eta`` progress line.
 
@@ -176,6 +192,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             "(the whole-file .json artifact is only written when a run finishes, "
             "so there is nothing to resume from)"
         )
+    shard = parse_shard(args.shard) if args.shard else None
+    if shard is not None and args.out and not streaming:
+        raise ConfigurationError(
+            "--shard artifacts must stream to a .jsonl --out path: shards are "
+            "partial by construction and `merge` recombines the streaming "
+            "layout (got --out " + repr(args.out) + ")"
+        )
     runner = SweepRunner(workers=args.workers, chunk_size=args.chunk_size)
     progress = None if args.quiet else _make_progress()
     result = runner.run(
@@ -185,8 +208,14 @@ def cmd_run(args: argparse.Namespace) -> int:
         out=args.out if streaming else None,
         resume=args.resume,
         progress=progress,
+        shard=shard,
     )
     if not args.quiet:
+        if shard is not None:
+            print(
+                f"shard {shard[0]}/{shard[1]}: {len(result.points)} of "
+                f"{scenario.num_points()} grid points"
+            )
         print(_summary_table(result).to_text())
         infeasible = [p for p in result.points if not p.ok]
         if infeasible:
@@ -197,10 +226,89 @@ def cmd_run(args: argparse.Namespace) -> int:
         if not args.quiet:
             kind = "JSONL (streamed)" if streaming else "JSON"
             print(f"wrote {kind} artifact: {args.out}")
+            if streaming:
+                print(f"wrote timing sidecar: {timing_sidecar_path(args.out)}")
     if args.csv:
         result.to_csv(args.csv)
         if not args.quiet:
             print(f"wrote CSV artifact: {args.csv}")
+    return 0
+
+
+def cmd_merge(args: argparse.Namespace) -> int:
+    summary = merge_artifacts(args.out, args.shards)
+    deduped = (
+        f", {summary['duplicates']} duplicate point(s) deduplicated"
+        if summary["duplicates"]
+        else ""
+    )
+    print(
+        f"merged {summary['inputs']} artifact(s) of scenario "
+        f"{summary['scenario']!r} -> {args.out}: {summary['points']} points"
+        f"{deduped}"
+    )
+    print(
+        "(bytes are identical to a single-machine run of the scenario; "
+        "verify with cmp, or diff --fail-threshold 0 against a golden artifact)"
+    )
+    return 0
+
+
+def cmd_timing_report(args: argparse.Namespace) -> int:
+    if args.top < 1:
+        raise ConfigurationError(f"--top must be >= 1, got {args.top!r}")
+    loaded = [(path,) + load_timing(path) for path in args.sidecars]
+    # One report covers one sweep: pooling sidecars of different scenarios
+    # under colliding "shard I/N" labels would silently mislead.
+    scenarios = sorted({header.get("scenario") for _path, header, _r in loaded})
+    if len(scenarios) > 1:
+        raise ConfigurationError(
+            f"timing-report covers one sweep at a time, but these sidecars "
+            f"span scenarios {scenarios}; run one report per scenario"
+        )
+
+    totals = ResultTable(
+        ["shard", "points", "total", "mean/point", "max"],
+        title=f"per-shard wall-clock totals ({len(loaded)} sidecar(s))",
+    )
+    entries = []  # (elapsed, label, record) across all sidecars
+    for path, header, records in loaded:
+        label = sidecar_label(header, path)
+        axes = header.get("axes") or []
+        elapsed = [float(r["elapsed_s"]) for r in records]
+        totals.add_row(**{
+            "shard": label,
+            "points": len(records),
+            "total": _format_elapsed(sum(elapsed)) if records else "-",
+            "mean/point": _format_elapsed(sum(elapsed) / len(records)) if records else "-",
+            "max": _format_elapsed(max(elapsed)) if records else "-",
+        })
+        for record in records:
+            entries.append((float(record["elapsed_s"]), label, axes, record))
+    print(totals.to_text())
+
+    entries.sort(key=lambda entry: -entry[0])
+    slowest = ResultTable(
+        ["elapsed", "shard", "index", "point", "status"],
+        title=f"slowest points (top {min(args.top, len(entries))} of {len(entries)})",
+    )
+    for elapsed, label, axes, record in entries[: args.top]:
+        params = record.get("params") or {}
+        shown = {name: params.get(name) for name in axes} if axes else params
+        slowest.add_row(**{
+            "elapsed": _format_elapsed(elapsed),
+            "shard": label,
+            "index": record.get("index"),
+            "point": " ".join(f"{k}={v}" for k, v in shown.items()) or "-",
+            "status": record.get("status"),
+        })
+    print()
+    print(slowest.to_text())
+    if not entries:
+        print(
+            "(no timing records: the runs behind these sidecars executed no "
+            "points — fully cached --resume, or an empty shard)"
+        )
     return 0
 
 
@@ -310,7 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser(
         "run",
-        help="execute a scenario sweep",
+        help="execute a scenario sweep (optionally one shard of it)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
             "examples:\n"
@@ -322,11 +430,18 @@ def build_parser() -> argparse.ArgumentParser:
             "  # ...killed half-way?  finish only the missing points:\n"
             "  python -m repro.experiments run paper-dns-matrix --workers 8 \\\n"
             "      --out dns-matrix.jsonl --resume\n"
+            "  # split the same sweep across 3 machines (this is machine 2);\n"
+            "  # `merge` later recombines the shards byte-identically\n"
+            "  python -m repro.experiments run paper-dns-matrix --shard 2/3 \\\n"
+            "      --out dns-shard2.jsonl\n"
             "  # smoke-size any scenario by overriding base parameters\n"
             "  python -m repro.experiments run database-ec2 --set num_requests=1000\n"
             "  # re-policy a scenario: hedge at the observed 95th percentile\n"
             "  # instead of the base parameters' eager copies\n"
             "  python -m repro.experiments run queueing-threshold --set policy=hedge:p95\n"
+            "\n"
+            "a .jsonl --out also writes <out>.timing.jsonl — per-point wall-clock\n"
+            "timing for `timing-report`; the canonical artifact stays timing-free.\n"
         ),
     )
     run.add_argument("scenario")
@@ -349,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse completed points from an existing --out .jsonl artifact "
              "and execute only the missing ones (final bytes identical to an "
              "uninterrupted run)",
+    )
+    run.add_argument(
+        "--shard", metavar="I/N", default=None,
+        help="execute only shard I of N (1-based) — a deterministic, "
+             "seed-derived partition of the grid, so N machines can split one "
+             "sweep with no coordination; requires a .jsonl --out (or none), "
+             "and `merge` recombines the shard artifacts byte-identically; "
+             "1/1 means no sharding",
     )
     run.add_argument("--csv", help="write a flattened CSV artifact to this path")
     run.add_argument("--seed", type=int, default=None, help="override the scenario's base seed")
@@ -397,6 +520,71 @@ def build_parser() -> argparse.ArgumentParser:
              "agreement",
     )
     diff.set_defaults(func=cmd_diff)
+
+    merge = sub.add_parser(
+        "merge",
+        help="recombine shard artifacts into one byte-identical artifact",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Merge the streaming artifacts of a sharded sweep (`run --shard "
+            "I/N`) into one complete artifact.  The output is byte-identical "
+            "to what a single-machine run of the scenario would have written "
+            "(pinned by CI with cmp): point records are already canonical and "
+            "carry global grid indices, so merging is a re-sorted union.  "
+            "Inputs may arrive in any order and may overlap (identical "
+            "duplicates are deduplicated); conflicting records for the same "
+            "point, mismatched headers (different scenario/seed/--set "
+            "overrides) and missing grid points are hard errors.  Timing "
+            "sidecars are per-machine and are NOT merged — point "
+            "timing-report at the shard sidecars directly."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments merge dns-matrix.jsonl \\\n"
+            "      dns-shard1.jsonl dns-shard2.jsonl dns-shard3.jsonl\n"
+            "  cmp dns-matrix.jsonl dns-matrix-single-machine.jsonl   # identical\n"
+        ),
+    )
+    merge.add_argument("out", help="path of the merged .jsonl artifact to write")
+    merge.add_argument(
+        "shards", nargs="+",
+        help="shard artifacts to combine (any order; overlaps deduplicated; "
+             "a truncated final line — a shard killed mid-write — is "
+             "tolerated, its in-flight point simply counts as missing)",
+    )
+    merge.set_defaults(func=cmd_merge)
+
+    timing = sub.add_parser(
+        "timing-report",
+        help="tabulate wall-clock timing sidecars (slowest points, per-shard totals)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Report on the .timing.jsonl sidecars written next to streamed "
+            "artifacts.  Timing lives ONLY in sidecars — canonical artifacts "
+            "are byte-stable and clock-free — so this is the place to see "
+            "where the wall-clock went: per-sidecar (per-shard) totals for "
+            "balancing a fleet, and the globally slowest points for choosing "
+            "a shard count.  A sidecar describes the points its run actually "
+            "executed; a fully-cached --resume leaves it empty."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments timing-report run.jsonl.timing.jsonl\n"
+            "  # fleet view: one sidecar per shard, scp'd back to one place\n"
+            "  python -m repro.experiments timing-report \\\n"
+            "      dns-shard1.jsonl.timing.jsonl dns-shard2.jsonl.timing.jsonl \\\n"
+            "      dns-shard3.jsonl.timing.jsonl --top 5\n"
+        ),
+    )
+    timing.add_argument(
+        "sidecars", nargs="+",
+        help="one or more .timing.jsonl sidecar paths (one per shard/run)",
+    )
+    timing.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="how many of the slowest points to list (default 10)",
+    )
+    timing.set_defaults(func=cmd_timing_report)
     return parser
 
 

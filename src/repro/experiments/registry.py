@@ -13,7 +13,10 @@ Scenarios register by name; the CLI and tests look them up with
   Figure 14, the complete 15-vantage × 10-server DNS matrix of Figures
   15-17, and the EC2-trace database sweep of Figure 9.  These take minutes
   to hours; run them with ``--out results.jsonl`` so an interrupted run can
-  be finished with ``--resume``.
+  be finished with ``--resume``, and split them across machines with
+  ``--shard I/N`` — the shard artifacts ``merge`` back into a file
+  byte-identical to a single-machine run (see ``EXPERIMENTS.md``,
+  "Running paper-tier sweeps across machines").
 
 ``EXPERIMENTS.md`` maps every paper figure to the scenario (and exact CLI
 command) that reproduces it.

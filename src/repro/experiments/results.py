@@ -16,8 +16,12 @@ every paper-vs-measured table in ``EXPERIMENTS.md``.
 
 Serialisation is deliberately canonical (points in grid order, keys sorted,
 no wall-clock timestamps) so that two sweeps of the same scenario produce
-byte-identical JSON/JSONL regardless of worker count, chunk size or resume
-history — the determinism contract the tests pin down.
+byte-identical JSON/JSONL regardless of worker count, chunk size, resume
+history — or how the grid was sharded across machines: a merged shard set
+(:mod:`repro.experiments.sharding`) reloads here exactly like the
+single-machine artifact it is byte-identical to.  Wall-clock timing lives in
+the ``.timing.jsonl`` sidecar (:mod:`repro.experiments.timing`), never in
+these artifacts — the determinism contract the tests pin down.
 """
 
 from __future__ import annotations
@@ -201,15 +205,31 @@ class SweepResult:
     def from_jsonl(cls, path: str) -> "SweepResult":
         """Load a *complete* streaming (JSONL) artifact.
 
+        A **merged** artifact (``python -m repro.experiments merge``) is
+        byte-identical to a single-machine run's and loads here like any
+        other; an individual *shard* artifact holds only its own points and
+        is rejected with a pointer at ``merge``.
+
         Raises:
-            ConfigurationError: If the artifact has no header or is missing
-                points (an interrupted run — finish it with ``--resume``
-                before analysing it).
+            ConfigurationError: If the artifact has no header, is a shard of
+                a sharded run (merge the shards first), or is missing points
+                (an interrupted run — finish it with ``--resume`` before
+                analysing it).
         """
         header, points = load_partial(path)
         if header is None:
             raise ConfigurationError(
                 f"artifact {path!r} is empty or has no header record"
+            )
+        stanza = header.get("shard")
+        if stanza:
+            raise ConfigurationError(
+                f"artifact {path!r} is shard {stanza.get('index')}/"
+                f"{stanza.get('count')} of scenario {header.get('scenario')!r} "
+                f"and holds only its own {stanza.get('num_points')} of "
+                f"{header.get('num_points')} points; recombine the shards "
+                f"first: python -m repro.experiments merge merged.jsonl "
+                f"<shard artifacts...>"
             )
         missing = int(header["num_points"]) - len(points)
         if missing > 0:

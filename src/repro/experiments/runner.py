@@ -18,6 +18,14 @@ seeds and the artifact encoding are both canonical, the finished artifact is
 resume tests pin this down by diffing killed-and-resumed runs against
 uninterrupted ones.
 
+Two companions extend this to fleets of machines.  ``shard=(i, n)`` restricts
+a run to the points whose derived seed lands in shard ``i`` of ``n``
+(:mod:`repro.experiments.sharding`) — each machine streams its own ordinary
+artifact, and ``merge`` recombines them byte-identically.  And every streamed
+run writes a **timing sidecar** (``out + ".timing.jsonl"``,
+:mod:`repro.experiments.timing`) recording each executed point's wall-clock
+seconds, out-of-band so the canonical artifact never depends on the clock.
+
 Points whose substrate rejects them as saturated (``CapacityError``) are
 recorded as ``"infeasible"`` rather than aborting the sweep — that mirrors
 how the paper's 2-copy curves stop short of full load.  Any other exception
@@ -27,6 +35,7 @@ artifact (the streaming artifact it leaves behind is still resumable).
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
@@ -46,6 +55,8 @@ from repro.experiments.results import (
     SweepResult,
 )
 from repro.experiments.scenario import Scenario, point_seed
+from repro.experiments.sharding import normalize_shard, shard_of, shard_stanza
+from repro.experiments.timing import TimingWriter, timing_header, timing_sidecar_path
 
 #: Default number of points submitted to the pool per batch.  Small enough
 #: that a kill loses at most one chunk of work, large enough that a pool of
@@ -57,9 +68,16 @@ _WorkItem = Tuple[str, Dict[str, Any], int, int]
 
 
 def _execute_point(work: _WorkItem) -> Dict[str, Any]:
-    """Run one sweep point; module-level so it pickles to pool workers."""
+    """Run one sweep point; module-level so it pickles to pool workers.
+
+    The returned dict is the canonical point record plus one transient key,
+    ``"elapsed_s"`` — the adapter's wall-clock seconds.  The runner pops it
+    into the timing sidecar before the record touches the artifact or a
+    :class:`PointResult`, so canonical bytes never depend on the clock.
+    """
     entry_point, params, seed, index = work
     adapter = resolve_adapter(entry_point)
+    started = time.perf_counter()
     try:
         outcome = adapter(params, seed)
     except CapacityError as exc:
@@ -72,6 +90,7 @@ def _execute_point(work: _WorkItem) -> Dict[str, Any]:
             "summary": None,
             "metrics": None,
             "scalars": {},
+            "elapsed_s": time.perf_counter() - started,
         }
     return {
         "index": index,
@@ -82,6 +101,7 @@ def _execute_point(work: _WorkItem) -> Dict[str, Any]:
         "summary": outcome.get("summary"),
         "metrics": outcome.get("metrics"),
         "scalars": outcome.get("scalars", {}),
+        "elapsed_s": time.perf_counter() - started,
     }
 
 
@@ -124,6 +144,7 @@ class SweepRunner:
         out: Optional[str] = None,
         resume: bool = False,
         progress: Optional[Callable[[int, int], None]] = None,
+        shard: Optional[Tuple[int, int]] = None,
     ) -> SweepResult:
         """Execute every point of ``scenario`` and collect a :class:`SweepResult`.
 
@@ -135,19 +156,33 @@ class SweepRunner:
             seed: Optional replacement for the scenario's base seed.
             out: Optional path of a streaming JSONL artifact.  Every completed
                 point is appended (in grid order) as the sweep runs, so a
-                killed run leaves its completed prefix behind.
+                killed run leaves its completed prefix behind.  A sidecar at
+                ``out + ".timing.jsonl"`` additionally records each executed
+                point's wall-clock seconds — timing never enters the
+                canonical artifact itself.
             resume: Reuse the completed points of an existing artifact at
                 ``out`` (keyed by point seed) and execute only the rest.  The
                 artifact is rewritten canonically, so the finished file is
                 byte-identical to an uninterrupted run's.  Requires ``out``.
             progress: Optional ``callback(done, total)`` invoked after the
-                cached prefix and after every completed chunk.
+                cached prefix and after every completed chunk.  Under
+                ``shard``, ``total`` is the shard's own point count.
+            shard: Optional 1-based ``(index, count)`` pair: execute only the
+                grid points whose derived seed falls in this shard
+                (:func:`repro.experiments.sharding.shard_of`) so ``count``
+                machines can split one sweep with no coordination.  Point
+                records keep their global grid indices, and
+                ``python -m repro.experiments merge`` recombines the shard
+                artifacts into a file byte-identical to an unsharded run.
+                ``(1, 1)`` (and ``None``) mean no sharding.
 
         Returns:
-            The sweep's results, points in grid order.
+            The sweep's results, points in grid order (this shard's points
+            only when ``shard`` is given).
         """
         if resume and out is None:
             raise ConfigurationError("resume=True requires an output path (out=...)")
+        shard = normalize_shard(shard)
         if overrides:
             colliding = sorted(set(overrides) & set(scenario.grid.axes))
             if colliding:
@@ -164,7 +199,7 @@ class SweepRunner:
         # legacy parameter, so a `policy="k2"` axis value shares its params,
         # seed and artifact bytes with the historical `copies=2` value (and a
         # malformed spec fails here, before any worker is spawned).
-        work: List[_WorkItem] = [
+        full_work: List[_WorkItem] = [
             (
                 scenario.entry_point,
                 params,
@@ -182,6 +217,16 @@ class SweepRunner:
         # any worker is spawned.
         resolve_adapter(scenario.entry_point)
 
+        # The shard partition is a pure function of each point's derived
+        # seed, so every machine computes the identical split independently.
+        # Records keep their *global* grid index; `local` maps it to this
+        # shard's write position.
+        if shard is not None:
+            work = [item for item in full_work if shard_of(item[2], shard[1]) == shard[0]]
+        else:
+            work = full_work
+        local = {item[3]: position for position, item in enumerate(work)}
+
         header = header_record(
             scenario=scenario.name,
             entry_point=scenario.entry_point,
@@ -189,17 +234,32 @@ class SweepRunner:
             seed=scenario.seed,
             base_params=dict(scenario.base_params),
             axes=scenario.grid.axes,
-            num_points=len(work),
+            num_points=len(full_work),
+            shard=shard_stanza(shard, len(work)) if shard is not None else None,
         )
         cached = self._load_cache(out, resume, header, work)
 
         records: List[Optional[Dict[str, Any]]] = [None] * len(work)
+        timings: List[Optional[float]] = [None] * len(work)
         for _entry, _params, item_seed, index in work:
             if item_seed in cached:
-                records[index] = cached[item_seed]
-        pending = [item for item in work if records[item[3]] is None]
+                records[local[index]] = cached[item_seed]
+        pending = [item for item in work if records[local[item[3]]] is None]
 
         writer = ArtifactWriter(out, header) if out is not None else None
+        timing_writer = (
+            TimingWriter(
+                timing_sidecar_path(out),
+                timing_header(
+                    scenario=scenario.name,
+                    axes=list(scenario.grid.axes),
+                    shard=header.get("shard"),
+                    artifact=out,
+                ),
+            )
+            if out is not None
+            else None
+        )
         pool = (
             ProcessPoolExecutor(max_workers=min(self.workers, len(pending)))
             if self.workers > 1 and len(pending) > 1
@@ -208,7 +268,9 @@ class SweepRunner:
         try:
             # The artifact is written strictly in grid order: after each chunk
             # (and the cached prefix), flush every record whose predecessors
-            # are all on disk already.
+            # are all on disk already.  Timing lands in the sidecar at the
+            # same moment — but only for points executed by this invocation
+            # (a resumed prefix cost no wall-clock).
             next_to_write = 0
 
             def flush() -> int:
@@ -216,6 +278,8 @@ class SweepRunner:
                 while next_to_write < len(records) and records[next_to_write] is not None:
                     if writer is not None:
                         writer.append_point(records[next_to_write])
+                    if timing_writer is not None and timings[next_to_write] is not None:
+                        timing_writer.append(records[next_to_write], timings[next_to_write])
                     next_to_write += 1
                 return next_to_write
 
@@ -231,13 +295,19 @@ class SweepRunner:
                     else (_execute_point(item) for item in chunk)
                 )
                 for record in executed:
-                    records[record["index"]] = record
+                    position = local[record["index"]]
+                    # Pop the transient wall-clock key before the record can
+                    # reach the canonical artifact or a PointResult.
+                    timings[position] = record.pop("elapsed_s", None)
+                    records[position] = record
                 done = flush()
                 if progress is not None:
                     progress(done, len(work))
         finally:
             if pool is not None:
                 pool.shutdown()
+            if timing_writer is not None:
+                timing_writer.close()
             if writer is not None:
                 writer.close()
 
@@ -296,8 +366,9 @@ def run_scenario(
     seed: Optional[int] = None,
     out: Optional[str] = None,
     resume: bool = False,
+    shard: Optional[Tuple[int, int]] = None,
 ) -> SweepResult:
     """Convenience wrapper: ``SweepRunner(workers).run(scenario, ...)``."""
     return SweepRunner(workers=workers).run(
-        scenario, overrides=overrides, seed=seed, out=out, resume=resume
+        scenario, overrides=overrides, seed=seed, out=out, resume=resume, shard=shard
     )

@@ -1,0 +1,194 @@
+"""Wall-clock timing sidecars (``<out>.timing.jsonl``).
+
+The contract under test: timing never enters the canonical artifact (whose
+bytes are a pure function of the scenario), but every streamed run writes a
+sidecar next to its artifact with one record per point *executed by that
+invocation*, and ``timing-report`` tabulates sidecars — including several
+shards' at once — for shard-balance decisions.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    ParameterGrid,
+    Scenario,
+    SweepRunner,
+    load_timing,
+    timing_sidecar_path,
+)
+from repro.experiments.cli import main as cli_main
+
+LOADS = [0.05, 0.1, 0.15, 0.2]
+
+
+def scenario(seed: int = 11) -> Scenario:
+    return Scenario(
+        name="timing-tiny",
+        entry_point="queueing_paired",
+        description="tiny timed sweep",
+        base_params={"distribution": "exponential", "copies": 2, "num_requests": 300},
+        grid=ParameterGrid({"load": LOADS}),
+        seed=seed,
+    )
+
+
+class TestSidecar:
+    def test_sidecar_written_next_to_streamed_artifact(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        result = SweepRunner(workers=1).run(scenario(), out=out)
+        sidecar = timing_sidecar_path(out)
+        assert sidecar == out + ".timing.jsonl"
+        header, records = load_timing(sidecar)
+        assert header["schema"] == "repro.experiments.sweep-timing/1"
+        assert header["scenario"] == "timing-tiny"
+        assert header["axes"] == ["load"]
+        assert header["shard"] is None
+        assert [r["index"] for r in records] == list(range(len(LOADS)))
+        assert [r["seed"] for r in records] == [p.seed for p in result.points]
+        assert all(r["elapsed_s"] > 0 for r in records)
+        assert all(r["status"] == "ok" for r in records)
+
+    def test_canonical_artifact_contains_no_timing(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=out)
+        data = open(out, "rb").read()
+        assert b"elapsed" not in data
+        # Every artifact line parses back to exactly the canonical record
+        # keys — nothing the clock could have touched.
+        for line in data.decode().splitlines()[1:]:
+            assert set(json.loads(line)) == {
+                "kind", "index", "params", "seed", "status", "error",
+                "summary", "metrics", "scalars",
+            }
+
+    def test_workers_do_not_change_artifact_but_sidecar_varies(self, tmp_path):
+        a, b = str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=a)
+        SweepRunner(workers=2).run(scenario(), out=b)
+        assert open(a, "rb").read() == open(b, "rb").read()
+        # Both sidecars cover the same points; the elapsed values are
+        # measurements and legitimately differ.
+        _, records_a = load_timing(timing_sidecar_path(a))
+        _, records_b = load_timing(timing_sidecar_path(b))
+        assert [r["seed"] for r in records_a] == [r["seed"] for r in records_b]
+
+    def test_resume_records_only_newly_executed_points(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=out)
+        data = open(out, "rb").read()
+        lines = data.decode().splitlines(keepends=True)
+        with open(out, "w") as handle:
+            handle.write("".join(lines[:3]))  # header + 2 completed points
+        SweepRunner(workers=1).run(scenario(), out=out, resume=True)
+        assert open(out, "rb").read() == data  # artifact healed byte-exactly
+        _, records = load_timing(timing_sidecar_path(out))
+        assert [r["index"] for r in records] == [2, 3]  # cached prefix absent
+
+    def test_fully_cached_resume_leaves_an_empty_sidecar(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=out)
+        SweepRunner(workers=1).run(scenario(), out=out, resume=True)
+        _, records = load_timing(timing_sidecar_path(out))
+        assert records == []
+
+    def test_no_out_no_sidecar(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        SweepRunner(workers=1).run(scenario())
+        assert not any(name.endswith(".timing.jsonl") for name in os.listdir(tmp_path))
+
+    def test_shard_sidecar_carries_the_stanza(self, tmp_path):
+        out = str(tmp_path / "s1.jsonl")
+        result = SweepRunner(workers=1).run(scenario(), out=out, shard=(1, 2))
+        header, records = load_timing(timing_sidecar_path(out))
+        assert header["shard"] == {"index": 1, "count": 2, "num_points": len(result.points)}
+        assert len(records) == len(result.points)
+
+
+class TestLoader:
+    def test_truncated_tail_is_discarded(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=out)
+        sidecar = timing_sidecar_path(out)
+        data = open(sidecar, "rb").read()
+        with open(sidecar, "wb") as handle:
+            handle.write(data[: len(data) - 5])
+        _, records = load_timing(sidecar)
+        assert [r["index"] for r in records] == list(range(len(LOADS) - 1))
+
+    def test_missing_file_raises_with_guidance(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="does not exist"):
+            load_timing(str(tmp_path / "nope.timing.jsonl"))
+
+    def test_artifact_passed_as_sidecar_is_rejected(self, tmp_path):
+        out = str(tmp_path / "run.jsonl")
+        SweepRunner(workers=1).run(scenario(), out=out)
+        with pytest.raises(ConfigurationError, match="not a timing sidecar"):
+            load_timing(out)
+
+
+class TestTimingReportCli:
+    def _run_shards(self, tmp_path):
+        import dataclasses
+
+        from repro.experiments import register_scenario
+
+        register_scenario(
+            dataclasses.replace(scenario(), name="timing-cli"), replace=True
+        )
+        sidecars = []
+        for index in (1, 2):
+            out = str(tmp_path / f"s{index}.jsonl")
+            assert cli_main([
+                "run", "timing-cli", "--quiet", "--out", out, "--shard", f"{index}/2",
+            ]) == 0
+            sidecars.append(timing_sidecar_path(out))
+        return sidecars
+
+    def test_report_totals_and_slowest(self, tmp_path, capsys):
+        sidecars = self._run_shards(tmp_path)
+        assert cli_main(["timing-report"] + sidecars) == 0
+        output = capsys.readouterr().out
+        assert "per-shard wall-clock totals" in output
+        assert "shard 1/2" in output and "shard 2/2" in output
+        assert "slowest points" in output
+        assert "load=" in output  # axis values identify the points
+
+    def test_report_top_limits_the_table(self, tmp_path, capsys):
+        sidecars = self._run_shards(tmp_path)
+        assert cli_main(["timing-report", "--top", "1"] + sidecars) == 0
+        assert "top 1 of" in capsys.readouterr().out
+        assert cli_main(["timing-report", "--top", "0"] + sidecars) == 2
+
+    def test_report_rejects_sidecars_of_different_scenarios(self, tmp_path, capsys):
+        sidecar = self._run_shards(tmp_path)[0]
+        import dataclasses
+
+        from repro.experiments import SweepRunner, timing_sidecar_path
+
+        other_out = str(tmp_path / "other.jsonl")
+        SweepRunner(workers=1).run(
+            dataclasses.replace(scenario(), name="timing-other"), out=other_out
+        )
+        code = cli_main(["timing-report", sidecar, timing_sidecar_path(other_out)])
+        assert code == 2
+        assert "one sweep at a time" in capsys.readouterr().err
+
+    def test_report_missing_sidecar_fails_cleanly(self, tmp_path, capsys):
+        assert cli_main(["timing-report", str(tmp_path / "nope.timing.jsonl")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_run_mentions_the_sidecar(self, tmp_path, capsys):
+        import dataclasses
+
+        from repro.experiments import register_scenario
+
+        register_scenario(
+            dataclasses.replace(scenario(), name="timing-cli"), replace=True
+        )
+        out = str(tmp_path / "run.jsonl")
+        assert cli_main(["run", "timing-cli", "--out", out]) == 0
+        assert "timing sidecar" in capsys.readouterr().out
