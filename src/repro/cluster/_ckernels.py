@@ -1,0 +1,135 @@
+"""Optional C fast paths for two Python-level inner loops, via ``ctypes``.
+
+Two hot loops in the batched substrate kernels resist numpy vectorisation
+because each step depends on the previous one (the FIFO busy-period
+recursion) or because the work is many tiny irregular windows (the LRU
+ambiguous-access resolution).  Both are plain loops over contiguous C arrays,
+so when a system C compiler is present they are compiled once per machine
+into a small shared library and called through ``ctypes`` — no third-party
+packages, no Python headers, no build step in the repo.
+
+Byte-identity: the C routines perform exactly the same IEEE-754 double
+operations, in the same order, as the Python loops they replace (compiled
+without ``-ffast-math``, so the compiler cannot reassociate them), and the
+LRU routine only counts integers.  The Python implementations remain the
+reference: ``REPRO_CKERNELS=0`` forces them, and tests pin the two paths
+against each other.
+
+Any failure — no compiler, read-only temp dir, unsupported platform —
+results in :func:`load` returning ``None`` and callers silently using the
+Python loops.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from typing import Optional
+
+CKERNELS_ENV_VAR = "REPRO_CKERNELS"
+"""Set to ``0`` to disable the compiled kernels (Python fallbacks run)."""
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* FIFO busy-period recursion: finish[i] = max(finish[i-1], a[i]) + s[i].
+ * Identical IEEE double ops, in identical order, to the scalar Python loop. */
+void seq_finish(const double *arrivals, const double *services,
+                double *out, int64_t n) {
+    double free_at = 0.0;
+    int64_t i;
+    for (i = 0; i < n; i++) {
+        double arrival = arrivals[i];
+        if (free_at <= arrival) {
+            free_at = arrival;
+        }
+        free_at = free_at + services[i];
+        out[i] = free_at;
+    }
+}
+
+/* For each ambiguous access t: count distinct keys touched strictly between
+ * its previous occurrence and t (positions q with next occurrence at or
+ * after t); the access is an LRU hit iff that count is below capacity. */
+void lru_ambiguous(const int64_t *ambiguous, int64_t n_ambiguous,
+                   const int64_t *prev, const int64_t *nxt,
+                   int64_t capacity, uint8_t *hit) {
+    int64_t i;
+    for (i = 0; i < n_ambiguous; i++) {
+        int64_t t = ambiguous[i];
+        int64_t count = 0;
+        int64_t q;
+        for (q = prev[t] + 1; q < t; q++) {
+            if (nxt[q] >= t) {
+                count++;
+                if (count >= capacity) {
+                    break;
+                }
+            }
+        }
+        hit[i] = count < capacity;
+    }
+}
+"""
+
+_lib: Optional[ctypes.CDLL] = None
+_tried = False
+
+
+def _build() -> ctypes.CDLL:
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache_dir = os.path.join(tempfile.gettempdir(), "repro-ckernels")
+    lib_path = os.path.join(cache_dir, f"ckernels-{digest}.so")
+    if not os.path.exists(lib_path):
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, f"ckernels-{digest}.c")
+        with open(src_path, "w") as handle:
+            handle.write(_C_SOURCE)
+        scratch = f"{lib_path}.tmp{os.getpid()}"
+        subprocess.run(
+            ["cc", "-O2", "-shared", "-fPIC", "-o", scratch, src_path],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(scratch, lib_path)  # atomic against concurrent builders
+    lib = ctypes.CDLL(lib_path)
+    lib.seq_finish.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_int64,
+    ]
+    lib.seq_finish.restype = None
+    lib.lru_ambiguous.argtypes = [
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        ctypes.c_void_p,
+        ctypes.c_void_p,
+        ctypes.c_int64,
+        ctypes.c_void_p,
+    ]
+    lib.lru_ambiguous.restype = None
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled kernel library, or ``None`` when unavailable/disabled.
+
+    The environment variable is consulted on every call (so tests can pin
+    either path); the compile attempt happens at most once per process.
+    """
+    global _lib, _tried
+    if os.environ.get(CKERNELS_ENV_VAR, "1") == "0":
+        return None
+    if _tried:
+        return _lib
+    _tried = True
+    try:
+        _lib = _build()
+    except Exception:
+        _lib = None
+    return _lib

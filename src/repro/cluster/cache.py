@@ -65,6 +65,57 @@ class LRUByteCache:
         self._insert(key, float(size_bytes))
         return False
 
+    def access_many(self, keys, sizes) -> "np.ndarray":
+        """Access a whole stream of keys, returning the per-access hit flags.
+
+        Semantically identical to calling :meth:`access` once per element
+        (same recency updates, evictions, and counters) but with the loop
+        overhead hoisted: attribute lookups are bound once and the byte
+        accounting runs on local floats.  Used by the batched database path
+        for file sets whose sizes are not all equal (where the closed-form
+        kernel in :mod:`repro.cluster.lru_kernel` does not apply).
+
+        Args:
+            keys: Iterable of object ids (converted to ``int``).
+            sizes: Matching iterable of positive sizes in bytes.
+
+        Returns:
+            Boolean array, ``True`` where the access hit.
+        """
+        import numpy as np
+
+        keys = [int(k) for k in keys]
+        out = np.empty(len(keys), dtype=bool)
+        entries = self._entries
+        move_to_end = entries.move_to_end
+        popitem = entries.popitem
+        capacity = self.capacity_bytes
+        used = self.used_bytes
+        hits = 0
+        evictions = 0
+        index = 0
+        for key, size in zip(keys, sizes):
+            if key in entries:
+                move_to_end(key)
+                hits += 1
+                out[index] = True
+            else:
+                out[index] = False
+                size = float(size)
+                if size <= capacity:
+                    while used + size > capacity and entries:
+                        _, evicted_size = popitem(last=False)
+                        used -= evicted_size
+                        evictions += 1
+                    entries[key] = size
+                    used += size
+            index += 1
+        self.used_bytes = used
+        self.hits += hits
+        self.misses += len(keys) - hits
+        self.evictions += evictions
+        return out
+
     def peek(self, key: object) -> bool:
         """Whether ``key`` is cached, without touching recency or counters."""
         return key in self._entries

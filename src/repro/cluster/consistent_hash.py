@@ -16,6 +16,8 @@ import bisect
 import hashlib
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 
@@ -52,6 +54,8 @@ class ConsistentHashRing:
         points.sort()
         self._ring_hashes = [p[0] for p in points]
         self._ring_servers = [p[1] for p in points]
+        self._ring_hashes_np = np.array(self._ring_hashes, dtype=np.uint64)
+        self._ring_servers_np = np.array(self._ring_servers, dtype=np.int64)
 
     def primary_for(self, key: object) -> int:
         """The server index owning ``key`` (first ring point at or after its hash)."""
@@ -60,6 +64,21 @@ class ConsistentHashRing:
         if index == len(self._ring_hashes):
             index = 0
         return self._ring_servers[index]
+
+    def primary_for_many(self, keys: Sequence[object]) -> "np.ndarray":
+        """Primary server index of every key, via one vectorised ring lookup.
+
+        Identical to ``[primary_for(key) for key in keys]`` (pinned by tests):
+        ``numpy.searchsorted`` with ``side="left"`` is exactly
+        ``bisect.bisect_left`` against the sorted ring, including the
+        wrap-around of hashes beyond the last ring point.
+        """
+        hashes = np.fromiter(
+            (_hash64(repr(key)) for key in keys), dtype=np.uint64, count=len(keys)
+        )
+        index = np.searchsorted(self._ring_hashes_np, hashes, side="left")
+        index[index == len(self._ring_hashes)] = 0
+        return self._ring_servers_np[index]
 
     def replicas_for(self, key: object, copies: int = 2) -> List[int]:
         """Primary plus successors: the paper's "secondary goes to server n + 1".

@@ -27,7 +27,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
+from repro.cluster.cache import LRUByteCache
 from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.cluster.draws import (
+    exact_disk_services,
+    resolve_draws_mode,
+    sequential_finish_times,
+)
+from repro.cluster.lru_kernel import equal_item_capacity, lru_hit_flags
 from repro.core.policy import (
     PolicyLike,
     resolve_run_policy,
@@ -231,6 +238,18 @@ class DatabaseRunResult:
         return self.summary.p999
 
 
+# Consistent-hash placement memo shared across experiment instances, keyed by
+# (num_servers, virtual_nodes, num_files).  Entries are read-only.
+_PRIMARIES_CACHE: Dict[Tuple[int, int, int], np.ndarray] = {}
+
+# Cache-warm candidate memo for the batched path, keyed by (seed,
+# virtual_nodes, num_files, num_servers, copies).  The shuffled per-server
+# warm orders depend only on the placement and the warm substream, both fixed
+# across the loads of a sweep, so re-shuffling them per point is pure
+# overhead.  Entries are tuples of read-only arrays.
+_WARM_CACHE: Dict[Tuple[int, int, int, int, int], Tuple[np.ndarray, ...]] = {}
+
+
 class DatabaseClusterExperiment:
     """Drives the disk-backed database model across loads and copy counts."""
 
@@ -254,11 +273,25 @@ class DatabaseClusterExperiment:
         return FileSet(sizes_bytes=sizes)
 
     def _assign_primaries(self) -> np.ndarray:
-        """Primary server of every file, via the consistent-hash ring."""
-        primaries = np.empty(self.config.num_files, dtype=np.int64)
-        for file_id in range(self.config.num_files):
-            primaries[file_id] = self._ring.primary_for(file_id)
-        return primaries
+        """Primary server of every file, via the consistent-hash ring.
+
+        The placement depends only on the ring geometry and the file count, so
+        the batched mode memoises it at module level (a sweep re-creates the
+        experiment per point, and re-hashing 100k file ids per point is pure
+        overhead).  Legacy mode recomputes it with the original per-file loop.
+        """
+        config = self.config
+        if resolve_draws_mode() == "legacy":
+            primaries = np.empty(config.num_files, dtype=np.int64)
+            for file_id in range(config.num_files):
+                primaries[file_id] = self._ring.primary_for(file_id)
+            return primaries
+        key = (config.num_servers, self._ring.virtual_nodes, config.num_files)
+        cached = _PRIMARIES_CACHE.get(key)
+        if cached is None:
+            cached = self._ring.primary_for_many(range(config.num_files))
+            _PRIMARIES_CACHE[key] = cached
+        return cached
 
     def _build_servers(self, run_seed: Tuple[int, ...]) -> List[StorageServerModel]:
         config = self.config
@@ -308,6 +341,7 @@ class DatabaseClusterExperiment:
         num_requests: int = 40_000,
         warmup_fraction: float = 0.2,
         policy: Optional[PolicyLike] = None,
+        draws: Optional[str] = None,
     ) -> DatabaseRunResult:
         """Simulate the cluster at one load.
 
@@ -327,6 +361,13 @@ class DatabaseClusterExperiment:
                 the secondary read and suppress it when the primary answered
                 first, charging client overhead only for responses actually
                 processed.
+            draws: ``"batched"`` (vectorised pre-drawn randomness, the
+                default) or ``"legacy"`` (the original per-request scalar
+                draws); ``None`` consults the ``REPRO_DRAWS`` environment
+                variable.  Both modes produce byte-identical results — the
+                batched mode consumes the same substreams in the same order.
+                Hedged policies always use the scalar path (backup launches
+                depend on earlier completions).
 
         Returns:
             A :class:`DatabaseRunResult`.
@@ -367,12 +408,20 @@ class DatabaseClusterExperiment:
         sizes = self._fileset.sizes_bytes[file_ids]
         primaries = self._primaries[file_ids]
 
-        servers = self._build_servers(run_seed=(k, hash(round(load, 6)) & 0xFFFF))
-        self._warm_caches(servers, k)
-
+        run_seed = (k, hash(round(load, 6)) & 0xFFFF)
         overhead_unit = config.client_overhead_per_extra_copy()
         num_servers = config.num_servers
-        if hedged is None:
+        mode = resolve_draws_mode(draws)
+        if hedged is None and mode == "batched":
+            overhead = overhead_unit * (k - 1)
+            best, hits, misses = self._eager_batched(
+                k, arrival_times, file_ids, sizes, primaries, run_seed
+            )
+            response = best + overhead
+            total_launched = num_requests * k
+        elif hedged is None:
+            servers = self._build_servers(run_seed=run_seed)
+            self._warm_caches(servers, k)
             overhead = overhead_unit * (k - 1)
             response = np.empty(num_requests)
             for i in range(num_requests):
@@ -389,7 +438,11 @@ class DatabaseClusterExperiment:
                         best = elapsed
                 response[i] = best + overhead
             total_launched = num_requests * k
+            hits = sum(s.cache.hits for s in servers)
+            misses = sum(s.cache.misses for s in servers)
         else:
+            servers = self._build_servers(run_seed=run_seed)
+            self._warm_caches(servers, k)
 
             def launch(request: int, copy: int, at: float) -> float:
                 server = servers[(int(primaries[request]) + copy) % num_servers]
@@ -403,11 +456,11 @@ class DatabaseClusterExperiment:
             )
             response = (finish_at - arrival_times) + overhead_unit * (launched - 1)
             total_launched = int(launched.sum())
+            hits = sum(s.cache.hits for s in servers)
+            misses = sum(s.cache.misses for s in servers)
 
         start = int(num_requests * warmup_fraction)
         retained = response[start:]
-        hits = sum(s.cache.hits for s in servers)
-        misses = sum(s.cache.misses for s in servers)
         registry = MetricsRegistry("database")
         registry.counter("requests").increment(num_requests)
         registry.counter("copies_launched").increment(total_launched)
@@ -426,6 +479,116 @@ class DatabaseClusterExperiment:
             policy_spec=run_policy_spec(hedged, k),
             copies_launched=total_launched,
         )
+
+    def _eager_batched(
+        self,
+        k: int,
+        arrival_times: np.ndarray,
+        file_ids: np.ndarray,
+        sizes: np.ndarray,
+        primaries: np.ndarray,
+        run_seed: Tuple[int, ...],
+    ) -> Tuple[np.ndarray, int, int]:
+        """Vectorised eager-replication run, byte-identical to the scalar loop.
+
+        The scalar loop serves copies in global ``(request, copy)`` order, but
+        each access touches exactly one server, and servers share no state —
+        the cache, the FIFO disk queue, and the service-time rng are all per
+        server.  Grouping accesses by server therefore preserves every
+        per-server stream exactly, which lets each server be processed with
+        three batched kernels:
+
+        * cache warming plus hit/miss classification via
+          :func:`~repro.cluster.lru_kernel.lru_hit_flags` (warm inserts are
+          prepended to the access stream as virtual accesses — ``warm_with``
+          has precisely LRU-insert semantics for distinct keys), falling back
+          to :meth:`~repro.cluster.cache.LRUByteCache.access_many` when file
+          sizes are not all equal;
+        * disk service times for the misses via
+          :func:`~repro.cluster.draws.exact_disk_services`, consuming the
+          server substream in the scalar order;
+        * the FIFO disk queue via
+          :func:`~repro.cluster.draws.sequential_finish_times`.
+
+        Returns:
+            ``(best_elapsed, cache_hits, cache_misses)`` where ``best_elapsed``
+            is the per-request fastest-copy response time before client
+            overhead.
+        """
+        config = self.config
+        n = len(arrival_times)
+        num_servers = config.num_servers
+        srv_flat = ((primaries[:, None] + np.arange(k, dtype=np.int64)) % num_servers).ravel()
+        file_flat = np.repeat(file_ids, k)
+        size_flat = np.repeat(sizes, k)
+        arr_flat = np.repeat(arrival_times, k)
+        completion_flat = np.empty(n * k)
+
+        warm_key = (
+            config.seed,
+            self._ring.virtual_nodes,
+            config.num_files,
+            num_servers,
+            k,
+        )
+        warm_orders = _WARM_CACHE.get(warm_key)
+        if warm_orders is None:
+            warm_rng = substream(config.seed, "cache-warm")
+            built = []
+            for server_id in range(num_servers):
+                if k >= 2:
+                    mask = (self._primaries == server_id) | (
+                        (self._primaries + 1) % num_servers == server_id
+                    )
+                else:
+                    mask = self._primaries == server_id
+                candidates = np.flatnonzero(mask)
+                if candidates.size:
+                    warm_rng.shuffle(candidates)
+                built.append(candidates)
+            warm_orders = tuple(built)
+            _WARM_CACHE[warm_key] = warm_orders
+        all_sizes = self._fileset.sizes_bytes
+        capacity = config.cache_bytes_per_server
+        item_capacity = (
+            equal_item_capacity(capacity, float(config.mean_file_bytes))
+            if config.file_size_distribution is None
+            else None
+        )
+        hits_total = 0
+        for server_id in range(num_servers):
+            candidates = warm_orders[server_id]
+            pos = np.flatnonzero(srv_flat == server_id)
+            keys = file_flat[pos]
+            if item_capacity is not None:
+                stream = np.concatenate([candidates, keys])
+                flags = lru_hit_flags(stream, item_capacity)[candidates.size :]
+            else:
+                cache = LRUByteCache(capacity)
+                cache.warm_with((int(f), float(all_sizes[f])) for f in candidates)
+                flags = cache.access_many(keys, size_flat[pos])
+            hits_total += int(np.count_nonzero(flags))
+            arr = arr_flat[pos]
+            completion = np.empty(len(pos))
+            miss = ~flags
+            if np.any(miss):
+                rng = substream(config.seed, "server", server_id, *run_seed)
+                services = exact_disk_services(
+                    config.disk,
+                    size_flat[pos][miss],
+                    rng,
+                    config.noise_probability,
+                    config.noise_multiplier_mean,
+                )
+                completion[miss] = (
+                    sequential_finish_times(arr[miss], services) + config.memory_service_s
+                )
+            completion[flags] = arr[flags] + config.memory_service_s
+            completion_flat[pos] = completion
+
+        elapsed = completion_flat.reshape(n, k) - arrival_times[:, None]
+        best = elapsed.min(axis=1)
+        return best, hits_total, n * k - hits_total
 
     def sweep(
         self,

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
+from repro.cluster.draws import resolve_draws_mode, sequential_finish_times
 from repro.core.policy import (
     PolicyDriver,
     PolicyLike,
@@ -164,6 +165,7 @@ class MemcachedExperiment:
         num_requests: int = 50_000,
         warmup_fraction: float = 0.1,
         policy: Optional[PolicyLike] = None,
+        draws: Optional[str] = None,
     ) -> MemcachedRunResult:
         """Simulate the memcached cluster at one load.
 
@@ -183,6 +185,11 @@ class MemcachedExperiment:
                 so hedged backups are almost always suppressed and the run
                 isolates how little of the stub overhead a hedging client
                 would actually pay.
+            draws: ``"batched"`` (per-server vectorised queueing, default) or
+                ``"legacy"`` (the original per-request loop); ``None``
+                consults ``REPRO_DRAWS``.  Both are byte-identical.  Stub and
+                hedged runs are unaffected (the stub path is already
+                vectorised; hedged launches depend on earlier completions).
 
         Raises:
             CapacityError: If the offered load saturates the servers.
@@ -236,20 +243,38 @@ class MemcachedExperiment:
                 num_requests, k
             )
             placements = self._choose_servers(placement_rng, num_requests, k)
-            free_at = np.zeros(config.num_servers)
-            response = np.empty(num_requests)
-            for i in range(num_requests):
-                arrival = arrival_times[i]
-                best = np.inf
-                for j in range(k):
-                    server = placements[i, j]
-                    start = free_at[server] if free_at[server] > arrival else arrival
-                    finish = start + service_times[i, j]
-                    free_at[server] = finish
-                    elapsed = finish - arrival
-                    if elapsed < best:
-                        best = elapsed
-                response[i] = best + client_time
+            if resolve_draws_mode(draws) == "batched":
+                # Copies are served in flat (request, copy) order and each
+                # touches exactly one server's FIFO queue, so the per-server
+                # busy-period recursion over the grouped accesses reproduces
+                # the scalar loop bit-for-bit.
+                srv_flat = placements.ravel()
+                svc_flat = service_times.ravel()
+                arr_flat = np.repeat(arrival_times, k)
+                finish_flat = np.empty(num_requests * k)
+                for server in range(config.num_servers):
+                    pos = np.flatnonzero(srv_flat == server)
+                    if pos.size:
+                        finish_flat[pos] = sequential_finish_times(
+                            arr_flat[pos], svc_flat[pos]
+                        )
+                elapsed = finish_flat.reshape(num_requests, k) - arrival_times[:, None]
+                response = elapsed.min(axis=1) + client_time
+            else:
+                free_at = np.zeros(config.num_servers)
+                response = np.empty(num_requests)
+                for i in range(num_requests):
+                    arrival = arrival_times[i]
+                    best = np.inf
+                    for j in range(k):
+                        server = placements[i, j]
+                        start = free_at[server] if free_at[server] > arrival else arrival
+                        finish = start + service_times[i, j]
+                        free_at[server] = finish
+                        elapsed = finish - arrival
+                        if elapsed < best:
+                            best = elapsed
+                    response[i] = best + client_time
             total_launched = num_requests * k
         else:
             service_times = self._sample_service(service_rng, num_requests * k).reshape(

@@ -340,7 +340,9 @@ def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
     Params: ``k``, ``load``, ``num_flows``, ``replication`` (bool) or
     ``policy`` (``"none"``, ``"k2"``, or deferred ``"hedge:<delay>"``),
-    ``link_rate_gbps``, ``per_hop_delay_us``, ``first_packets``.
+    ``link_rate_gbps``, ``per_hop_delay_us``, ``first_packets``, and
+    ``fidelity`` (``"packet"`` = full event simulation, ``"flow"`` = the
+    link-share fast path of :mod:`repro.network.flow_fidelity`).
     """
     from repro.network import FatTreeExperiment, FatTreeExperimentConfig
     from repro.network.replication import ReplicationConfig
@@ -365,6 +367,7 @@ def run_fattree(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         num_flows=int(params.get("num_flows", 500)),
         replication=replication,
         seed=seed,
+        fidelity=str(params.get("fidelity", "packet")),
     )
     result = FatTreeExperiment(config).run()
     short = result.short_flow_fcts()

@@ -235,6 +235,43 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one grid point under cProfile and print the cumulative-time table."""
+    import cProfile
+    import pstats
+
+    scenario = get_scenario(args.scenario)
+    if args.set:
+        scenario = scenario.with_overrides(base_params=_overrides(args.set))
+    from repro.experiments.adapters import normalize_point_params, resolve_adapter
+    from repro.experiments.scenario import point_seed
+
+    points = [
+        normalize_point_params(scenario.entry_point, point, axes=scenario.grid.axes)
+        for point in scenario.points()
+    ]
+    if not 0 <= args.point < len(points):
+        raise ConfigurationError(
+            f"--point must be in [0, {len(points)}) for scenario "
+            f"{scenario.name!r}, got {args.point}"
+        )
+    params = points[args.point]
+    seed = point_seed(scenario.seed, scenario.name, params)
+    adapter = resolve_adapter(scenario.entry_point)
+    shown = " ".join(f"{key}={value}" for key, value in sorted(params.items()))
+    print(f"profiling {scenario.name!r} point {args.point}/{len(points)}: {shown}")
+    profiler = cProfile.Profile()
+    started = time.perf_counter()
+    profiler.enable()
+    adapter(params, seed)
+    profiler.disable()
+    elapsed = time.perf_counter() - started
+    print(f"point wall-clock: {elapsed:.3f}s")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    return 0
+
+
 def cmd_merge(args: argparse.Namespace) -> int:
     summary = merge_artifacts(args.out, args.shards)
     deduped = (
@@ -481,6 +518,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress the result table")
     run.set_defaults(func=cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run one grid point under cProfile (find the hot path of a slow sweep)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        description=(
+            "Execute exactly one grid point of a scenario under cProfile and "
+            "print the cumulative-time table.  Pair it with `timing-report` "
+            "(which names the slowest points of a recorded sweep) to see "
+            "*why* a point is slow; the profiled run uses the identical "
+            "normalised parameters and derived seed as the sweep, so the "
+            "profile reflects the real artifact-producing code path."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro.experiments profile queueing-smoke --point 0\n"
+            "  python -m repro.experiments profile paper-database-ec2 --point 17 --top 15\n"
+        ),
+    )
+    profile.add_argument("scenario")
+    profile.add_argument(
+        "--point", type=int, default=0,
+        help="grid index of the point to profile (0-based, grid order; "
+             "`timing-report` prints these indices)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=25,
+        help="number of rows of the cumulative-time table to print",
+    )
+    profile.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="override a base parameter (repeatable), e.g. --set num_requests=1000",
+    )
+    profile.set_defaults(func=cmd_profile)
 
     diff = sub.add_parser(
         "diff",

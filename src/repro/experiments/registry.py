@@ -362,6 +362,28 @@ register_scenario(
 
 register_scenario(
     Scenario(
+        name="paper-fattree-k6-flow",
+        entry_point="fattree",
+        tier="paper",
+        description=(
+            "paper-fattree-k6 at flow-level fidelity: identical workload and "
+            "grid, FCTs from the link-share model (~50x faster, approximate "
+            "at high load — see the delta table in EXPERIMENTS.md)."
+        ),
+        base_params={
+            "k": 6,
+            "num_flows": 2_000,
+            "first_packets": 8,
+            "link_rate_gbps": 5.0,
+            "per_hop_delay_us": 2.0,
+            "fidelity": "flow",
+        },
+        grid=ParameterGrid({"load": [0.2, 0.4, 0.6], "replication": [False, True]}),
+    )
+)
+
+register_scenario(
+    Scenario(
         name="paper-dns-matrix",
         entry_point="dns",
         tier="paper",

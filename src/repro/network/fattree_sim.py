@@ -19,6 +19,7 @@ from repro.analysis.stats import LatencySummary
 from repro.distributions.datacenter import DataCenterFlowSizes
 from repro.exceptions import ConfigurationError, RoutingError, SimulationError
 from repro.metrics import LatencyRecorder, MetricsRegistry
+from repro.network.flow_fidelity import flow_level_fcts
 from repro.network.flows import FlowSpec, generate_flows
 from repro.network.link import Link
 from repro.network.packet import PRIORITY_NORMAL, Packet
@@ -48,6 +49,12 @@ class FatTreeExperimentConfig:
             runs so they see the same workload).
         max_sim_seconds: Hard cap on simulated time (protects against
             pathological high-load runs that cannot drain).
+        fidelity: ``"packet"`` (default) simulates every segment/ACK/queue
+            event — the reference fidelity; ``"flow"`` computes FCTs from the
+            link-share model in :mod:`repro.network.flow_fidelity` on the
+            *identical* workload (same seed substream, flows, and routed
+            paths) at a fraction of the cost.  Flow mode is approximate at
+            high load — see the delta table in EXPERIMENTS.md.
     """
 
     k: int = 6
@@ -60,6 +67,7 @@ class FatTreeExperimentConfig:
     tcp: TcpConfig = field(default_factory=TcpConfig)
     seed: int = 0
     max_sim_seconds: float = 60.0
+    fidelity: str = "packet"
 
     def __post_init__(self) -> None:
         if self.link_rate_gbps <= 0 or self.per_hop_delay_us < 0:
@@ -68,6 +76,10 @@ class FatTreeExperimentConfig:
             raise ConfigurationError(f"load must be in (0, 1), got {self.load!r}")
         if self.num_flows < 1:
             raise ConfigurationError("num_flows must be >= 1")
+        if self.fidelity not in ("packet", "flow"):
+            raise ConfigurationError(
+                f"fidelity must be 'packet' or 'flow', got {self.fidelity!r}"
+            )
 
     @property
     def link_rate_bps(self) -> float:
@@ -241,6 +253,7 @@ class FatTreeExperiment:
         replication: Optional[ReplicationConfig] = None,
         load: Optional[float] = None,
         num_flows: Optional[int] = None,
+        fidelity: Optional[str] = None,
     ) -> FatTreeRunResult:
         """Run one simulation.
 
@@ -250,23 +263,27 @@ class FatTreeExperiment:
                 for the baseline).
             load: Override the offered load.
             num_flows: Override the number of flows.
+            fidelity: Override the fidelity (``"packet"`` or ``"flow"``).
 
         Returns:
             A :class:`FatTreeRunResult`.
         """
         config = self.config
-        if replication is not None or load is not None or num_flows is not None:
+        if (
+            replication is not None
+            or load is not None
+            or num_flows is not None
+            or fidelity is not None
+        ):
             config = replace(
                 config,
                 replication=replication if replication is not None else config.replication,
                 load=load if load is not None else config.load,
                 num_flows=num_flows if num_flows is not None else config.num_flows,
+                fidelity=fidelity if fidelity is not None else config.fidelity,
             )
 
-        sim = Simulator()
-        network = _PacketNetwork(sim, self.topology, config)
         router = EcmpRouter(self.topology, salt=config.seed)
-
         rng = substream(config.seed, "flows", config.load, config.num_flows)
         flow_specs = generate_flows(
             hosts=self.topology.hosts(),
@@ -276,6 +293,26 @@ class FatTreeExperiment:
             rng=rng,
             size_distribution=DataCenterFlowSizes(),
         )
+
+        if config.fidelity == "flow":
+            fcts = flow_level_fcts(config, router, flow_specs)
+            records = [
+                FlowRecord(
+                    flow_id=spec.flow_id,
+                    size_bytes=spec.size_bytes,
+                    fct=fcts[index],
+                    timeouts=0,
+                    retransmissions=0,
+                    duplicate_deliveries=0,
+                )
+                for index, spec in enumerate(flow_specs)
+            ]
+            return FatTreeRunResult(
+                config=config, records=records, dropped_packets=0, dropped_replicas=0
+            )
+
+        sim = Simulator()
+        network = _PacketNetwork(sim, self.topology, config)
 
         completed: List[TcpFlow] = []
         default_links: Dict[int, List[Link]] = {}

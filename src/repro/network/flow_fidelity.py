@@ -1,0 +1,287 @@
+"""Flow-level fast path for the fat-tree experiment (``fidelity="flow"``).
+
+The packet-mode fat-tree run (Section 2.4) simulates every segment, ACK and
+queue event; at paper scale (k=6, 2000 flows) that is millions of events per
+grid point.  This module computes per-flow completion times from link-share
+math instead:
+
+* **Uncontended recursion** (:func:`uncontended_fct`): an exact ack-clocked
+  replay of the TCP substrate over an idle path — slow-start/congestion
+  avoidance window growth, store-and-forward serialisation on every hop, and
+  the fixed reverse-path ACK delay.  For a flow that never shares a queue
+  this reproduces the packet simulator's FCT to floating-point accuracy
+  (pinned by tests to < 1e-9 relative error).
+* **Fluid sharing for big flows**: flows of at least :data:`BIG_FLOW_BYTES`
+  are run through a max-min fair fluid model over their routed paths; their
+  FCT is the later of the fluid completion and the uncontended recursion
+  (the recursion bounds the TCP ramp-up that the fluid model ignores).
+* **Share-bound for short flows**: each short flow's FCT is lower-bounded by
+  its wire volume over the max-min share it would get at its bottleneck
+  link, counting the big flows in flight on its path when it starts.
+* **Replication benefit**: a replication-eligible short flow (enabled and
+  ``total_segments <= first_packets``) whose alternate ECMP path is idle
+  completes in ``replica_delay_s`` plus the uncontended time of that path —
+  the flow-level analogue of the paper's replicated-first-packets win.
+
+The model deliberately omits drops, retransmission timeouts and short-vs-
+short queueing transients, so it is an *approximation* at high load — the
+measured-vs-packet delta table lives in EXPERIMENTS.md, and the packet path
+remains the reference fidelity.  Timeout/retransmission/duplicate counters
+are reported as zero in flow mode.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.network.flows import FlowSpec
+from repro.network.routing import EcmpRouter
+
+#: Flows at least this large take the fluid (max-min sharing) model; smaller
+#: flows use the uncontended recursion plus the bottleneck share bound.
+BIG_FLOW_BYTES = 100_000.0
+
+
+def uncontended_fct(
+    size_bytes: float,
+    hops: int,
+    link_rate_bps: float,
+    per_hop_delay_s: float,
+    tcp,
+) -> float:
+    """Exact FCT of one TCP flow over an idle path.
+
+    Replays the transport substrate's dynamics without a simulator: segments
+    are ack-clocked through ``hops`` store-and-forward links whose per-link
+    free times are tracked explicitly, the window grows by one segment per
+    ACK below ``ssthresh`` and by ``1/cwnd`` above it, and every ACK returns
+    over the fixed-delay reverse path exactly as in
+    :class:`~repro.network.fattree_sim.FatTreeExperiment`.
+
+    Args:
+        size_bytes: Application bytes to transfer.
+        hops: Number of links on the forward path.
+        link_rate_bps: Link rate in bits per second.
+        per_hop_delay_s: Per-hop propagation delay in seconds.
+        tcp: A :class:`~repro.network.tcp.TcpConfig`.
+
+    Returns:
+        Seconds from flow start to the last ACK arriving at the sender.
+    """
+    rate = link_rate_bps / 8.0
+    total = max(1, -(-int(size_bytes) // tcp.mss_bytes))
+    ack_delay = hops * (per_hop_delay_s + tcp.ack_bytes / rate)
+    full_wire = (tcp.mss_bytes + tcp.header_bytes) / rate
+    last_payload = size_bytes - tcp.mss_bytes * (total - 1)
+    last_wire = (last_payload + tcp.header_bytes) / rate
+    cwnd = float(tcp.initial_cwnd_segments)
+    ssthresh = float(tcp.initial_ssthresh_segments)
+    free = [0.0] * hops
+    # ready[j] = earliest send time of segment j (0 for the initial window,
+    # extended as ACKs open the window).
+    ready = [0.0] * min(int(cwnd), total)
+    finish = 0.0
+    for j in range(total):
+        wire = full_wire if j < total - 1 else last_wire
+        arrival = ready[j]
+        for hop in range(hops):
+            departure = (free[hop] if free[hop] > arrival else arrival) + wire
+            free[hop] = departure
+            arrival = departure + per_hop_delay_s
+        finish = arrival + ack_delay
+        if cwnd < ssthresh:
+            cwnd += 1.0
+        else:
+            cwnd += 1.0 / cwnd
+        limit = min(total, j + 1 + int(cwnd))
+        while len(ready) < limit:
+            ready.append(finish)
+    return finish
+
+
+def _max_min_rates(
+    active: Set[int],
+    paths: Sequence[Tuple[int, ...]],
+    link_capacity: float,
+) -> Dict[int, float]:
+    """Max-min fair rates (bytes/s) of ``active`` flows over shared links."""
+    link_flows: Dict[int, Set[int]] = {}
+    for index in active:
+        for link in paths[index]:
+            link_flows.setdefault(link, set()).add(index)
+    capacity_left = {link: link_capacity for link in link_flows}
+    rates: Dict[int, float] = {}
+    unfrozen = set(active)
+    while unfrozen:
+        best_link = None
+        best_share = None
+        for link, flows in link_flows.items():
+            live = len(flows & unfrozen)
+            if not live:
+                continue
+            share = capacity_left[link] / live
+            if best_share is None or share < best_share:
+                best_share = share
+                best_link = link
+        if best_link is None:
+            break
+        best_share = max(0.0, best_share)
+        for index in link_flows[best_link] & unfrozen:
+            rates[index] = best_share
+            unfrozen.discard(index)
+            for link in paths[index]:
+                capacity_left[link] -= best_share
+    return rates
+
+
+def _fluid_completions(
+    indices: Sequence[int],
+    starts: Sequence[float],
+    volumes: Sequence[float],
+    paths: Sequence[Tuple[int, ...]],
+    link_capacity: float,
+) -> Dict[int, float]:
+    """Completion time of each flow in ``indices`` under max-min fluid sharing.
+
+    Standard fluid flow-level model: between arrival/completion events every
+    active flow drains at its max-min fair rate; rates are recomputed at each
+    event.  Only the (few) big flows enter this model, so the quadratic
+    recompute cost stays negligible.
+    """
+    arrivals = sorted(indices, key=lambda index: (starts[index], index))
+    remaining: Dict[int, float] = {}
+    completion: Dict[int, float] = {}
+    active: Set[int] = set()
+    position = 0
+    now = 0.0
+    while position < len(arrivals) or active:
+        if not active:
+            now = starts[arrivals[position]]
+        while position < len(arrivals) and starts[arrivals[position]] <= now:
+            index = arrivals[position]
+            remaining[index] = volumes[index]
+            active.add(index)
+            position += 1
+        rates = _max_min_rates(active, paths, link_capacity)
+        time_to_finish = min(
+            remaining[index] / rates[index] if rates.get(index, 0.0) > 0 else float("inf")
+            for index in active
+        )
+        next_arrival = starts[arrivals[position]] if position < len(arrivals) else None
+        if next_arrival is not None and next_arrival - now < time_to_finish:
+            step = next_arrival - now
+        else:
+            step = time_to_finish
+        for index in active:
+            remaining[index] -= rates.get(index, 0.0) * step
+        now += step
+        finished = [
+            index for index in active if remaining[index] <= 1e-9 * max(1.0, volumes[index])
+        ]
+        for index in finished:
+            completion[index] = now
+            active.discard(index)
+    return completion
+
+
+def flow_level_fcts(
+    config,
+    router: EcmpRouter,
+    flow_specs: Sequence[FlowSpec],
+) -> List[Optional[float]]:
+    """Per-flow completion times under the flow-level model.
+
+    Args:
+        config: A :class:`~repro.network.fattree_sim.FatTreeExperimentConfig`
+            with ``fidelity="flow"``.
+        router: The ECMP router over the experiment's topology (same salt as
+            packet mode, so default/alternate paths are identical).
+        flow_specs: The workload, sorted by start time (as
+            :func:`~repro.network.flows.generate_flows` returns it).
+
+    Returns:
+        One entry per spec, in spec order: the FCT in seconds, or ``None``
+        for flows that would not finish before ``config.max_sim_seconds``.
+    """
+    tcp = config.tcp
+    replication = config.replication
+    rate = config.link_rate_bps / 8.0
+    per_hop = config.per_hop_delay_s
+
+    link_ids: Dict[Tuple[str, str], int] = {}
+
+    def path_link_ids(path: Sequence[str]) -> Tuple[int, ...]:
+        return tuple(
+            link_ids.setdefault((path[i], path[i + 1]), len(link_ids))
+            for i in range(len(path) - 1)
+        )
+
+    n = len(flow_specs)
+    default_ids: List[Tuple[int, ...]] = []
+    alternate_ids: List[Tuple[int, ...]] = []
+    segments: List[int] = []
+    volumes: List[float] = []
+    analytic: List[float] = []
+    alt_hops: List[int] = []
+    for spec in flow_specs:
+        default_path = router.default_path(spec.flow_id, spec.src, spec.dst)
+        alternate_path = router.alternate_path(spec.flow_id, spec.src, spec.dst)
+        default_ids.append(path_link_ids(default_path))
+        alternate_ids.append(path_link_ids(alternate_path))
+        hops = len(default_path) - 1
+        alt_hops.append(len(alternate_path) - 1)
+        total = max(1, -(-int(spec.size_bytes) // tcp.mss_bytes))
+        segments.append(total)
+        volumes.append(spec.size_bytes + total * tcp.header_bytes)
+        analytic.append(
+            uncontended_fct(spec.size_bytes, hops, config.link_rate_bps, per_hop, tcp)
+        )
+
+    starts = [spec.start_time for spec in flow_specs]
+    big = [i for i in range(n) if flow_specs[i].size_bytes >= BIG_FLOW_BYTES]
+    fluid = _fluid_completions(big, starts, volumes, default_ids, rate)
+
+    # Interval timeline: walk flows in start order, tracking how many big
+    # flows are in flight on every link so short flows can read their
+    # bottleneck share (and replication its alternate-path idleness) at
+    # arrival time.
+    counts: Dict[int, int] = {}
+    in_flight: List[Tuple[float, int]] = []  # heap of (end_time, index)
+    fcts: List[Optional[float]] = [None] * n
+    for i in sorted(range(n), key=lambda index: (starts[index], index)):
+        now = starts[i]
+        while in_flight and in_flight[0][0] <= now:
+            _, ended = heapq.heappop(in_flight)
+            for link in default_ids[ended]:
+                counts[link] -= 1
+        base = analytic[i]
+        if i in fluid:
+            fct = max(base, fluid[i] - now)
+        else:
+            users = max((counts.get(link, 0) for link in default_ids[i]), default=0)
+            fct = max(base, volumes[i] * (users + 1) / rate) if users else base
+            if (
+                replication.enabled
+                and segments[i] <= replication.first_packets
+                and all(counts.get(link, 0) == 0 for link in alternate_ids[i])
+            ):
+                alt_base = (
+                    base
+                    if alt_hops[i] == len(default_ids[i])
+                    else uncontended_fct(
+                        flow_specs[i].size_bytes,
+                        alt_hops[i],
+                        config.link_rate_bps,
+                        per_hop,
+                        tcp,
+                    )
+                )
+                fct = min(fct, replication.replica_delay_s + alt_base)
+        if now + fct <= config.max_sim_seconds:
+            fcts[i] = fct
+        if i in fluid:
+            heapq.heappush(in_flight, (now + fct, i))
+            for link in default_ids[i]:
+                counts[link] = counts.get(link, 0) + 1
+    return fcts

@@ -30,6 +30,23 @@ class Link:
         bytes_sent: Total bytes transmitted.
     """
 
+    # One Link per directed edge, but every queued packet passes through the
+    # slotted (item, size) tuples of PriorityQueueResource and the hot
+    # per-packet callbacks below; slotting the Link keeps its attribute
+    # reads off the instance-dict path.
+    __slots__ = (
+        "_sim",
+        "name",
+        "rate_bytes_per_s",
+        "propagation_delay_s",
+        "queue",
+        "deliver",
+        "_busy",
+        "packets_sent",
+        "bytes_sent",
+        "packets_dropped",
+    )
+
     def __init__(
         self,
         sim: Simulator,

@@ -16,9 +16,12 @@ PRIORITY_REPLICA = 1
 _packet_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A data or acknowledgement packet.
+
+    Packet-mode runs allocate one of these per segment and per replica, so
+    the class is slotted: no per-instance ``__dict__`` to allocate or fill.
 
     Attributes:
         flow_id: Flow the packet belongs to.

@@ -67,6 +67,34 @@ class TcpFlow:
     ``on_complete(flow)`` once every byte is acknowledged.
     """
 
+    __slots__ = (
+        "sim",
+        "flow_id",
+        "src",
+        "dst",
+        "size_bytes",
+        "start_time",
+        "config",
+        "_send_segment",
+        "_send_ack",
+        "_on_complete",
+        "total_segments",
+        "cwnd",
+        "ssthresh",
+        "snd_una",
+        "snd_next",
+        "dup_acks",
+        "rto_interval",
+        "rto_event",
+        "timeouts",
+        "retransmissions",
+        "completed",
+        "completion_time",
+        "rcv_next",
+        "_received",
+        "duplicate_deliveries",
+    )
+
     def __init__(
         self,
         sim: Simulator,

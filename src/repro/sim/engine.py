@@ -1,30 +1,67 @@
 """The discrete-event simulation core.
 
-:class:`Simulator` maintains a simulated clock and a binary heap of
+:class:`Simulator` maintains a simulated clock and a priority queue of
 :class:`~repro.sim.events.Event` objects.  Every simulator in this repository
 (the Section 2.1 queueing model, the Section 2.2/2.3 storage cluster, the
 Section 2.4 fat-tree network and the Section 3 wide-area models) advances time
 through this single engine, which keeps the semantics of "simulated seconds"
 consistent across substrates and makes experiments reproducible.
+
+Two queue backends are available, both producing the exact same event order
+(the ordering key ``(time, priority, sequence)`` is a total order because
+``sequence`` is unique, so *any* correct priority queue pops the same event
+next):
+
+* ``"heap"`` — a binary heap of ``(time, priority, sequence, event)`` tuples.
+  Keeping the ordering key in the tuple means every comparison happens in C
+  during ``heappush``/``heappop`` instead of calling ``Event.__lt__``.
+* ``"calendar"`` — a calendar queue: events are hashed into fixed-width time
+  buckets (each bucket a small heap) so push/pop cost stays O(1)-ish in the
+  number of pending events instead of O(log n).  Because bucket index is a
+  function of ``time`` alone, all same-time events (the only possible ties)
+  land in the same bucket and the cross-bucket order is by construction the
+  order of the heap backend.
+
+``"auto"`` (the default) starts on the heap and migrates to the calendar
+queue once the pending-event count crosses a threshold where the O(log n)
+factor starts to matter.  The backend choice is a pure performance knob:
+artifacts are byte-identical across backends, pinned by equivalence tests.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import os
 from typing import Any, Callable, Optional
 
 from repro.exceptions import SimulationError
 from repro.sim.events import Event, EventState
 
+#: Environment variable overriding the default queue backend for every
+#: ``Simulator()`` created without an explicit ``queue=`` argument.  Used by
+#: CI to re-run whole sweeps under ``calendar`` and ``cmp`` the artifacts.
+QUEUE_ENV_VAR = "REPRO_SIM_QUEUE"
+
+_QUEUE_CHOICES = ("auto", "heap", "calendar")
+
 
 class Simulator:
     """A minimal, fast discrete-event scheduler.
 
-    The simulator owns the clock (:attr:`now`) and an event heap.  Work is
+    The simulator owns the clock (:attr:`now`) and an event queue.  Work is
     scheduled with :meth:`schedule` (relative delay) or :meth:`schedule_at`
     (absolute time) and executed by :meth:`run`, :meth:`run_until` or
     :meth:`step`.
+
+    Args:
+        start_time: Initial value of the simulated clock, in seconds.
+        queue: Queue backend: ``"heap"``, ``"calendar"``, or ``"auto"``
+            (heap now, calendar once the backlog grows past
+            :attr:`_AUTO_CALENDAR_THRESHOLD`).  ``None`` reads the
+            ``REPRO_SIM_QUEUE`` environment variable, defaulting to
+            ``"auto"``.  Backends are observably equivalent; see the module
+            docstring.
 
     Example:
         >>> sim = Simulator()
@@ -35,19 +72,45 @@ class Simulator:
         (1.5, ['hello'])
     """
 
-    #: Cancelled events are purged from the heap once they are this many and
+    #: Cancelled events are purged from the queue once they are this many and
     #: outnumber the live events (amortised O(1) per cancellation).
     _PURGE_MIN_CANCELLED = 64
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    #: ``queue="auto"`` migrates from the heap to the calendar queue when the
+    #: backlog first exceeds this many entries.  The binary heap's per-op cost
+    #: grows with log2(n) C tuple comparisons, the calendar queue's stays flat
+    #: but pays fixed Python-level bucketing overhead per op, so the crossover
+    #: sits at a large backlog.
+    _AUTO_CALENDAR_THRESHOLD = 32768
+
+    #: A calendar bucket growing beyond this many entries triggers a width
+    #: resize (the buckets have degenerated towards one big heap).
+    _MAX_BUCKET = 1024
+
+    def __init__(self, start_time: float = 0.0, queue: Optional[str] = None) -> None:
         """Create a simulator whose clock starts at ``start_time`` seconds."""
+        if queue is None:
+            queue = os.environ.get(QUEUE_ENV_VAR, "auto")
+        if queue not in _QUEUE_CHOICES:
+            raise SimulationError(
+                f"queue must be one of {_QUEUE_CHOICES}, got {queue!r}"
+            )
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._sequence = 0
         self._running = False
         self._stopped = False
         self._events_processed = 0
         self._cancelled_in_heap = 0
+        self._queue_mode = queue
+        self._backend = "calendar" if queue == "calendar" else "heap"
+        # Calendar-queue state.  The width starts at 1.0 and is re-derived
+        # from the observed event-time span on the first resize, so callers
+        # never have to guess a timescale up front.
+        self._buckets: dict[int, list[tuple]] = {}
+        self._bucket_heap: list[int] = []
+        self._bucket_width = 1.0
+        self._calendar_len = 0
 
     @property
     def now(self) -> float:
@@ -60,41 +123,80 @@ class Simulator:
         return self._events_processed
 
     @property
+    def queue_backend(self) -> str:
+        """The queue backend currently in use (``"heap"`` or ``"calendar"``)."""
+        return self._backend
+
+    @property
     def pending_events(self) -> int:
         """Number of live (non-cancelled) events waiting to fire.
 
         Maintained as a live counter: cancelling an event decrements it
-        immediately even though the cancelled entry stays in the heap until it
-        is popped or lazily purged, so long-running simulations can introspect
-        their backlog accurately.
+        immediately even though the cancelled entry stays in the queue until
+        it is popped or lazily purged, so long-running simulations can
+        introspect their backlog accurately.
         """
-        return max(0, len(self._heap) - self._cancelled_in_heap)
+        return max(0, len(self._heap) + self._calendar_len - self._cancelled_in_heap)
+
+    # ------------------------------------------------------------------
+    # Cancellation bookkeeping
+    # ------------------------------------------------------------------
 
     def _note_cancellation(self, _event: Event) -> None:
         """Event-cancellation hook keeping the live pending count accurate.
 
-        Only events currently in the heap carry this hook: :meth:`clear` and
+        Only events currently in the queue carry this hook: :meth:`clear` and
         :meth:`_purge_cancelled` detach it from evicted events, so a stale
         handle cancelled later cannot skew the count.
         """
         self._cancelled_in_heap += 1
         if (
             self._cancelled_in_heap >= self._PURGE_MIN_CANCELLED
-            and self._cancelled_in_heap * 2 > len(self._heap)
+            and self._cancelled_in_heap * 2 > len(self._heap) + self._calendar_len
         ):
             self._purge_cancelled()
 
     def _purge_cancelled(self) -> None:
-        """Drop cancelled entries from the heap and restore the heap invariant."""
+        """Drop cancelled entries from the queue and restore its invariants.
+
+        The heap list is compacted in place so that a ``run`` loop holding a
+        local reference keeps seeing the live queue.
+        """
+        cancelled = EventState.CANCELLED
         kept = []
-        for event in self._heap:
-            if event.state is EventState.CANCELLED:
+        for entry in self._heap:
+            event = entry[3]
+            if event.state is cancelled:
                 event.on_cancel = None
             else:
-                kept.append(event)
-        self._heap = kept
+                kept.append(entry)
+        self._heap[:] = kept
         heapq.heapify(self._heap)
+        if self._calendar_len:
+            total = 0
+            for index in list(self._buckets):
+                bucket = self._buckets[index]
+                alive = []
+                for entry in bucket:
+                    event = entry[3]
+                    if event.state is cancelled:
+                        event.on_cancel = None
+                    else:
+                        alive.append(entry)
+                if alive:
+                    heapq.heapify(alive)
+                    self._buckets[index] = alive
+                    total += len(alive)
+                else:
+                    del self._buckets[index]
+            self._bucket_heap = list(self._buckets)
+            heapq.heapify(self._bucket_heap)
+            self._calendar_len = total
         self._cancelled_in_heap = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
 
     def schedule(
         self,
@@ -137,7 +239,7 @@ class Simulator:
             SimulationError: If ``time`` is not a finite number or is before
                 the current clock.  NaN is rejected explicitly: it compares
                 false against every clock value, so it would slip past the
-                ordering check below and corrupt the event heap's invariant.
+                ordering check below and corrupt the event queue's invariant.
         """
         if not math.isfinite(time):
             raise SimulationError(f"event time must be finite, got {time!r}")
@@ -154,29 +256,136 @@ class Simulator:
             args=args,
             on_cancel=self._note_cancellation,
         )
-        heapq.heappush(self._heap, event)
+        entry = (event.time, priority, self._sequence, event)
+        if self._backend == "heap":
+            heapq.heappush(self._heap, entry)
+            if (
+                self._queue_mode == "auto"
+                and len(self._heap) > self._AUTO_CALENDAR_THRESHOLD
+            ):
+                self._migrate_to_calendar()
+        else:
+            self._calendar_push(entry)
         return event
+
+    # ------------------------------------------------------------------
+    # Calendar-queue internals
+    # ------------------------------------------------------------------
+
+    def _calendar_push(self, entry: tuple) -> None:
+        index = int(entry[0] // self._bucket_width)
+        bucket = self._buckets.get(index)
+        if bucket:
+            heapq.heappush(bucket, entry)
+            if len(bucket) > self._MAX_BUCKET:
+                self._resize_calendar()
+        else:
+            self._buckets[index] = [entry]
+            heapq.heappush(self._bucket_heap, index)
+        self._calendar_len += 1
+
+    def _calendar_peek(self) -> Optional[tuple]:
+        buckets = self._buckets
+        bucket_heap = self._bucket_heap
+        while bucket_heap:
+            index = bucket_heap[0]
+            bucket = buckets.get(index)
+            if bucket:
+                return bucket[0]
+            # Stale index: its bucket drained (or was never refilled).
+            heapq.heappop(bucket_heap)
+            buckets.pop(index, None)
+        return None
+
+    def _calendar_pop(self) -> Optional[tuple]:
+        entry = self._calendar_peek()
+        if entry is None:
+            return None
+        bucket = self._buckets[self._bucket_heap[0]]
+        heapq.heappop(bucket)
+        self._calendar_len -= 1
+        return entry
+
+    def _calendar_entries(self) -> list[tuple]:
+        entries: list[tuple] = []
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        return entries
+
+    def _rebuild_calendar(self, entries: list[tuple]) -> None:
+        """Re-bucket ``entries`` under the current width (order-preserving)."""
+        width = self._bucket_width
+        buckets: dict[int, list[tuple]] = {}
+        for entry in entries:
+            buckets.setdefault(int(entry[0] // width), []).append(entry)
+        for bucket in buckets.values():
+            heapq.heapify(bucket)
+        self._buckets = buckets
+        self._bucket_heap = list(buckets)
+        heapq.heapify(self._bucket_heap)
+        self._calendar_len = len(entries)
+
+    def _resize_calendar(self) -> None:
+        """Re-derive the bucket width from the observed event-time span."""
+        entries = self._calendar_entries()
+        if len(entries) < 2:
+            return
+        times = [entry[0] for entry in entries]
+        span = max(times) - min(times)
+        if span > 0.0:
+            # Aim for a small constant number of events per bucket; ties all
+            # share a timestamp so they necessarily share a bucket.
+            self._bucket_width = max(span * 8.0 / len(entries), 1e-12)
+        self._rebuild_calendar(entries)
+
+    def _migrate_to_calendar(self) -> None:
+        """Move the heap backlog into calendar buckets (``queue="auto"``)."""
+        entries = self._heap
+        self._heap = []
+        self._backend = "calendar"
+        if entries:
+            times = [entry[0] for entry in entries]
+            span = max(times) - min(times)
+            if span > 0.0:
+                self._bucket_width = max(span * 8.0 / len(entries), 1e-12)
+        self._rebuild_calendar(entries)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next pending event, advancing the clock to its time.
 
         Returns:
-            ``True`` if an event was executed, ``False`` if the heap is empty
-            (the clock is left unchanged in that case).
+            ``True`` if an event was executed, ``False`` if the queue is
+            empty (the clock is left unchanged in that case).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.state is EventState.CANCELLED:
+        cancelled = EventState.CANCELLED
+        while True:
+            if self._backend == "heap":
+                if not self._heap:
+                    return False
+                entry = heapq.heappop(self._heap)
+            else:
+                entry = self._calendar_pop()
+                if entry is None:
+                    return False
+            event = entry[3]
+            if event.state is cancelled:
                 self._cancelled_in_heap -= 1
                 continue
-            self._now = event.time
+            self._now = entry[0]
             event._fire()
             self._events_processed += 1
             return True
-        return False
 
     def run(self, max_events: Optional[int] = None) -> int:
-        """Run until the event heap is exhausted (or ``max_events`` fired).
+        """Run until the event queue is exhausted (or ``max_events`` fired).
+
+        Events are drained in batches: all entries sharing the head timestamp
+        are popped in one pass of the inner loop, without re-entering
+        :meth:`step` or re-reading engine state per event.
 
         Args:
             max_events: Optional safety cap on the number of events to
@@ -195,9 +404,17 @@ class Simulator:
         self._stopped = False
         processed = 0
         try:
-            while not self._stopped and self.step():
-                processed += 1
+            while not self._stopped:
+                if self._backend == "heap":
+                    processed = self._run_heap(max_events, processed, math.inf)
+                else:
+                    processed = self._run_calendar(max_events, processed, math.inf)
                 if max_events is not None and processed >= max_events:
+                    break
+                if self._backend == "heap":
+                    if not self._heap:
+                        break
+                elif self._calendar_peek() is None:
                     break
         finally:
             self._running = False
@@ -206,8 +423,8 @@ class Simulator:
     def run_until(self, until: float) -> int:
         """Run events with timestamps ``<= until`` and set the clock to ``until``.
 
-        Events scheduled after ``until`` remain in the heap, so the simulation
-        can be resumed by a later call.
+        Events scheduled after ``until`` remain in the queue, so the
+        simulation can be resumed by a later call.
 
         Args:
             until: Absolute simulated time to run up to (inclusive).
@@ -229,20 +446,91 @@ class Simulator:
         self._stopped = False
         processed = 0
         try:
-            while not self._stopped and self._heap:
-                head = self._heap[0]
-                if head.state is EventState.CANCELLED:
-                    heapq.heappop(self._heap)
-                    self._cancelled_in_heap -= 1
-                    continue
-                if head.time > until:
+            while not self._stopped:
+                if self._backend == "heap":
+                    processed = self._run_heap(None, processed, until)
+                else:
+                    processed = self._run_calendar(None, processed, until)
+                head = self._heap[0] if self._heap else self._calendar_peek()
+                if head is None or head[0] > until:
                     break
-                self.step()
-                processed += 1
         finally:
             self._running = False
         if not self._stopped:
             self._now = max(self._now, until)
+        return processed
+
+    def _run_heap(self, max_events: Optional[int], processed: int, until: float) -> int:
+        """Tight heap drain loop; returns the updated processed count.
+
+        Returns early (without error) when the backend migrates to the
+        calendar queue mid-run, when ``until`` or ``max_events`` is reached,
+        or when :meth:`stop` is called from a callback.
+        """
+        heap = self._heap  # compacted in place by _purge_cancelled
+        pop = heapq.heappop
+        cancelled = EventState.CANCELLED
+        fired = EventState.FIRED
+        while heap:
+            head_time = heap[0][0]
+            if head_time > until:
+                break
+            # Batch-drain every entry at this timestamp in one pass.
+            while heap and heap[0][0] == head_time:
+                entry = pop(heap)
+                event = entry[3]
+                if event.state is cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self._now = head_time
+                event.state = fired
+                event.callback(*event.args)
+                self._events_processed += 1
+                processed += 1
+                if self._stopped:
+                    return processed
+                if max_events is not None and processed >= max_events:
+                    return processed
+            if self._backend != "heap":
+                break
+        return processed
+
+    def _run_calendar(
+        self, max_events: Optional[int], processed: int, until: float
+    ) -> int:
+        """Calendar-queue drain loop mirroring :meth:`_run_heap`."""
+        cancelled = EventState.CANCELLED
+        fired = EventState.FIRED
+        while True:
+            head = self._calendar_peek()
+            if head is None:
+                break
+            head_time = head[0]
+            if head_time > until:
+                break
+            bucket = self._buckets[self._bucket_heap[0]]
+            while bucket and bucket[0][0] == head_time:
+                entry = heapq.heappop(bucket)
+                self._calendar_len -= 1
+                event = entry[3]
+                if event.state is cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                self._now = head_time
+                event.state = fired
+                event.callback(*event.args)
+                self._events_processed += 1
+                processed += 1
+                if self._stopped:
+                    return processed
+                if max_events is not None and processed >= max_events:
+                    return processed
+                # Callbacks may schedule into (or purge) this same bucket;
+                # re-resolve it so the local reference never goes stale.
+                head = self._calendar_peek()
+                if head is None or head[0] != head_time:
+                    break
+                bucket = self._buckets[self._bucket_heap[0]]
         return processed
 
     def stop(self) -> None:
@@ -254,8 +542,23 @@ class Simulator:
         self._stopped = True
 
     def clear(self) -> None:
-        """Drop all pending events without firing them.  The clock is kept."""
-        for event in self._heap:
-            event.on_cancel = None
+        """Drop all pending events without firing them.  The clock is kept.
+
+        ``_sequence`` intentionally survives a clear: it is the global
+        tie-break of the event ordering key, and resetting it would let an
+        event scheduled after the clear compare equal to (or before) a stale
+        pre-clear handle, breaking the determinism of event order when a
+        simulator is reused.  The monotonic sequence also keeps heap entries
+        totally ordered, so comparisons never fall through to the ``Event``
+        objects themselves.
+        """
+        for entry in self._heap:
+            entry[3].on_cancel = None
         self._heap.clear()
+        for bucket in self._buckets.values():
+            for entry in bucket:
+                entry[3].on_cancel = None
+        self._buckets.clear()
+        self._bucket_heap.clear()
+        self._calendar_len = 0
         self._cancelled_in_heap = 0

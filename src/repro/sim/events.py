@@ -5,12 +5,15 @@ and represents a callback that will fire at a given simulated time unless it
 is cancelled first.  Events are ordered by ``(time, priority, sequence)`` so
 that ties at the same timestamp are resolved deterministically: first by the
 caller-supplied priority, then by scheduling order.
+
+``Event`` is a ``__slots__`` class rather than a dataclass: packet-mode
+network simulations allocate one event per packet per hop, so the per-event
+memory and attribute-access overhead is on the critical path.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -18,7 +21,7 @@ class EventState(enum.Enum):
     """Lifecycle state of a scheduled event."""
 
     PENDING = "pending"
-    """The event is in the scheduler's heap and has not fired yet."""
+    """The event is in the scheduler's queue and has not fired yet."""
 
     FIRED = "fired"
     """The event's callback has been executed."""
@@ -27,7 +30,10 @@ class EventState(enum.Enum):
     """The event was cancelled before firing; its callback will never run."""
 
 
-@dataclass(order=True)
+def _noop() -> None:
+    return None
+
+
 class Event:
     """A callback scheduled to run at a simulated time.
 
@@ -46,15 +52,58 @@ class Event:
         args: Positional arguments passed to ``callback``.
     """
 
-    time: float
-    priority: int = 0
-    sequence: int = 0
-    callback: Callable[..., Any] = field(compare=False, default=lambda: None)
-    args: tuple = field(compare=False, default=())
-    state: EventState = field(compare=False, default=EventState.PENDING)
-    #: Set by the scheduler so it can keep an accurate live count of pending
-    #: (non-cancelled) events; not part of the ordering key.
-    on_cancel: Optional[Callable[["Event"], None]] = field(compare=False, default=None)
+    __slots__ = ("time", "priority", "sequence", "callback", "args", "state", "on_cancel")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int = 0,
+        sequence: int = 0,
+        callback: Callable[..., Any] = _noop,
+        args: tuple = (),
+        state: EventState = EventState.PENDING,
+        on_cancel: Optional[Callable[["Event"], None]] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.state = state
+        #: Set by the scheduler so it can keep an accurate live count of
+        #: pending (non-cancelled) events; not part of the ordering key.
+        self.on_cancel = on_cancel
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time!r}, priority={self.priority!r}, "
+            f"sequence={self.sequence!r}, state={self.state.value!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.time, self.priority, self.sequence) == (
+            other.time,
+            other.priority,
+            other.sequence,
+        )
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.sequence < other.sequence
+
+    def __le__(self, other: "Event") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Event") -> bool:
+        return not (self == other or self < other)
+
+    def __ge__(self, other: "Event") -> bool:
+        return not self < other
 
     def cancel(self) -> bool:
         """Cancel the event if it has not fired yet.
@@ -62,7 +111,7 @@ class Event:
         Returns:
             ``True`` if the event was pending and is now cancelled, ``False``
             if it had already fired or was already cancelled.  Cancelling is
-            O(1): the event is left in the heap and skipped when popped (the
+            O(1): the event is left in the queue and skipped when popped (the
             owning scheduler is notified so its pending count stays accurate).
         """
         if self.state is EventState.PENDING:

@@ -270,3 +270,147 @@ class TestPendingEventsExcludeCancelled:
         # Cancelling an already-purged event again is a no-op.
         assert events[0].cancel() is False
         assert sim.pending_events == 50
+
+
+class TestSequenceSurvivesClear:
+    """``_sequence`` must not reset on clear() — see Simulator.clear()."""
+
+    def test_sequence_is_not_reset_by_clear(self):
+        sim = Simulator()
+        before = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        after = sim.schedule(1.0, lambda: None)
+        # If clear() reset the counter, `after` would collide with the stale
+        # pre-clear handle in the (time, priority, sequence) ordering key and
+        # event order on a reused simulator would no longer be deterministic.
+        assert after.sequence > before.sequence
+
+    def test_order_stays_deterministic_across_reuse(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "first-life")
+        sim.run()
+        sim.clear()
+        sim.schedule(1.0 - 1.0, order.append, "ignored")  # cleared below
+        sim.clear()
+        sim.schedule(2.0, order.append, "second-life-late", priority=0)
+        sim.schedule(2.0, order.append, "second-life-later", priority=0)
+        sim.run()
+        assert order == ["first-life", "second-life-late", "second-life-later"]
+
+
+def _scripted_trace(queue):
+    """A workload exercising ties, priorities, cancellation and rescheduling."""
+    sim = Simulator(queue=queue)
+    order = []
+
+    def note(tag):
+        order.append((tag, sim.now))
+
+    def cancel_and_reschedule():
+        note("cancel-point")
+        doomed[0].cancel()
+        doomed[1].cancel()
+        sim.schedule(0.0, note, "same-time-child")
+        sim.schedule(0.5, note, "later-child", priority=-1)
+
+    # Ties at t=1.0 resolved by priority then sequence.
+    sim.schedule(1.0, note, "tie-low-pri", priority=5)
+    sim.schedule(1.0, note, "tie-a")
+    sim.schedule(1.0, note, "tie-b")
+    doomed = [sim.schedule(3.0, note, "doomed-a"), sim.schedule(4.0, note, "doomed-b")]
+    sim.schedule(2.0, cancel_and_reschedule)
+    for i in range(200):
+        sim.schedule(5.0 + (i % 7) * 0.25, note, f"bulk-{i}", priority=i % 3)
+    processed = sim.run()
+    return order, processed, sim.now, sim.events_processed
+
+
+class TestCalendarQueueEquivalence:
+    def test_scripted_workload_identical_across_backends(self):
+        assert _scripted_trace("heap") == _scripted_trace("calendar")
+
+    def test_randomized_workloads_identical_across_backends(self):
+        from repro.sim.rng import substream
+
+        def run(queue, seed):
+            rng = substream(seed, "engine-equivalence")
+            sim = Simulator(queue=queue)
+            order = []
+            handles = []
+
+            def fire(tag):
+                order.append((tag, sim.now))
+                draw = rng.random()
+                if draw < 0.3:
+                    handles.append(
+                        sim.schedule(
+                            float(rng.integers(0, 4)) * 0.5,
+                            fire,
+                            f"{tag}/c",
+                            priority=int(rng.integers(-2, 3)),
+                        )
+                    )
+                elif draw < 0.4 and handles:
+                    handles[int(rng.integers(0, len(handles)))].cancel()
+
+            for i in range(300):
+                handles.append(
+                    sim.schedule(
+                        float(rng.integers(0, 20)) * 0.25,
+                        fire,
+                        str(i),
+                        priority=int(rng.integers(-2, 3)),
+                    )
+                )
+            processed = sim.run()
+            return order, processed, sim.now
+
+        for seed in (0, 7, 123):
+            assert run("heap", seed) == run("calendar", seed)
+
+    def test_run_until_identical_across_backends(self):
+        def run(queue):
+            sim = Simulator(queue=queue)
+            order = []
+            for i in range(50):
+                sim.schedule(float(i % 10), order.append, i, priority=-i)
+            first = sim.run_until(4.5)
+            mid = (list(order), sim.now, sim.pending_events)
+            second = sim.run()
+            return first, mid, second, order, sim.now
+
+        assert run("heap") == run("calendar")
+
+    def test_calendar_backend_survives_bucket_resize(self):
+        sim = Simulator(queue="calendar")
+        order = []
+        # Far more entries than _MAX_BUCKET at wildly different timescales.
+        for i in range(3000):
+            sim.schedule(float(i) * 1e-6, order.append, i)
+        sim.schedule(100.0, order.append, "late")
+        sim.run()
+        assert order == list(range(3000)) + ["late"]
+
+    def test_auto_mode_migrates_to_calendar(self):
+        sim = Simulator(queue="auto")
+        sim._AUTO_CALENDAR_THRESHOLD = 16  # shrink the heuristic for the test
+        order = []
+        for i in range(40):
+            sim.schedule(float(i), order.append, i)
+        assert sim.queue_backend == "calendar"
+        sim.run()
+        assert order == list(range(40))
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+        assert Simulator().queue_backend == "calendar"
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "heap")
+        assert Simulator().queue_backend == "heap"
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "bogus")
+        with pytest.raises(SimulationError):
+            Simulator()
+
+    def test_explicit_queue_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "calendar")
+        assert Simulator(queue="heap").queue_backend == "heap"
