@@ -2,8 +2,9 @@
 """Docs-consistency check: smoke-run every documented experiments command.
 
 CI runs this script (``PYTHONPATH=src python scripts/check_docs_commands.py``).
-It extracts every ``python -m repro.experiments ...`` command from the fenced
-code blocks of ``EXPERIMENTS.md`` and ``README.md`` and executes each one:
+It extracts every ``python -m repro.experiments ...`` and
+``python -m repro.lint ...`` command from the fenced code blocks of
+``EXPERIMENTS.md`` and ``README.md`` and executes each one:
 
 * ``list`` / ``show`` commands run exactly as written;
 * ``run`` commands are shrunk to smoke size — ``--workers 1``, ``--quiet``,
@@ -15,7 +16,12 @@ code blocks of ``EXPERIMENTS.md`` and ``README.md`` and executes each one:
   sidecar) arguments resolved against (a) real repository files (the
   checked-in golden artifact) and (b) the redirected artifacts produced by
   earlier documented ``run``/``merge`` commands — so a documented command
-  only works if the docs also document producing its inputs.
+  only works if the docs also document producing its inputs;
+* ``repro.lint`` commands run as written against the repository (so the
+  documented lint invocation really exits 0 on the shipped tree), except
+  that an ``--update-baseline`` example has its ``--baseline`` path
+  redirected into the temp directory so docs checking never rewrites the
+  checked-in baseline.
 
 It also fails if any registered scenario is missing from ``EXPERIMENTS.md``,
 so the catalogue and the reproduction guide cannot drift apart.
@@ -29,11 +35,12 @@ import shlex
 import subprocess
 import sys
 import tempfile
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS = ("EXPERIMENTS.md", "README.md")
-MARKER = "-m repro.experiments"
+MODULES = ("repro.experiments", "repro.lint")
+MARKERS = tuple(f"-m {module}" for module in MODULES)
 
 #: Tiny base-parameter overrides per adapter entry point, applied to ``run``
 #: commands unless the documented command already sets that key itself.
@@ -49,7 +56,7 @@ SMOKE_OVERRIDES: Dict[str, Dict[str, object]] = {
 
 
 def extract_commands(path: str) -> List[str]:
-    """All ``python -m repro.experiments`` commands in ``path``'s code blocks."""
+    """All ``python -m repro.*`` commands in ``path``'s code blocks."""
     with open(path, "r", encoding="utf-8") as handle:
         lines = handle.read().splitlines()
     commands: List[str] = []
@@ -65,7 +72,7 @@ def extract_commands(path: str) -> List[str]:
             continue
         if buffer:
             buffer = buffer + " " + stripped.rstrip("\\").strip()
-        elif MARKER in stripped and not stripped.startswith("#"):
+        elif any(marker in stripped for marker in MARKERS) and not stripped.startswith("#"):
             buffer = stripped.rstrip("\\").strip()
         else:
             continue
@@ -77,13 +84,13 @@ def extract_commands(path: str) -> List[str]:
     return commands
 
 
-def split_args(command: str) -> List[str]:
-    """The argv after ``-m repro.experiments`` (env prefixes etc. dropped)."""
+def split_args(command: str) -> Tuple[str, List[str]]:
+    """The ``(module, argv)`` after ``-m`` (env prefixes etc. dropped)."""
     tokens = shlex.split(re.sub(r"\s+#.*$", "", command))
     for index in range(len(tokens) - 1):
-        if tokens[index] == "-m" and tokens[index + 1] == "repro.experiments":
-            return tokens[index + 2 :]
-    raise SystemExit(f"cannot locate '-m repro.experiments' in: {command}")
+        if tokens[index] == "-m" and tokens[index + 1] in MODULES:
+            return tokens[index + 1], tokens[index + 2 :]
+    raise SystemExit(f"cannot locate a known '-m repro.*' module in: {command}")
 
 
 #: Flags of the experiments CLI that consume a value token.
@@ -201,6 +208,17 @@ def rewrite_timing_report(args: List[str], produced: Dict[str, str]) -> List[str
     return out
 
 
+def rewrite_lint(args: List[str], tmpdir: str) -> List[str]:
+    """A documented lint command, with ``--update-baseline`` made side-effect
+    free by redirecting its ``--baseline`` path into the temp directory."""
+    out = list(args)
+    if "--update-baseline" in out and "--baseline" in out:
+        index = out.index("--baseline") + 1
+        if index < len(out):
+            out[index] = os.path.join(tmpdir, os.path.basename(out[index]))
+    return out
+
+
 def check_scenarios_documented(experiments_md: str) -> None:
     from repro.experiments import scenario_names
 
@@ -227,8 +245,10 @@ def main() -> int:
         for doc in DOCS:
             path = os.path.join(REPO_ROOT, doc)
             for command in extract_commands(path):
-                args = split_args(command)
-                if args[0] == "run":
+                module, args = split_args(command)
+                if module == "repro.lint":
+                    argv = rewrite_lint(args, tmpdir)
+                elif args[0] == "run":
                     argv = rewrite_run(args, tmpdir, produced)
                 elif args[0] == "diff":
                     argv = rewrite_diff(args, produced)
@@ -238,10 +258,10 @@ def main() -> int:
                     argv = rewrite_timing_report(args, produced)
                 else:
                     argv = args
-                printable = "python -m repro.experiments " + " ".join(argv)
+                printable = f"python -m {module} " + " ".join(argv)
                 print(f"[{doc}] {command}\n    -> {printable}", flush=True)
                 proc = subprocess.run(
-                    [sys.executable, "-m", "repro.experiments", *argv],
+                    [sys.executable, "-m", module, *argv],
                     cwd=REPO_ROOT,
                     env=env,
                     stdout=subprocess.PIPE,

@@ -29,8 +29,13 @@ import subprocess
 import tempfile
 from typing import Optional
 
-CKERNELS_ENV_VAR = "REPRO_CKERNELS"
-"""Set to ``0`` to disable the compiled kernels (Python fallbacks run)."""
+from repro import flags
+
+CKERNELS_ENV_VAR = flags.CKERNELS.name
+"""Set to ``0`` to disable the compiled kernels (Python fallbacks run).
+
+Declared (with its choices) in :mod:`repro.flags`.
+"""
 
 _C_SOURCE = r"""
 #include <stdint.h>
@@ -123,7 +128,7 @@ def load() -> Optional[ctypes.CDLL]:
     either path); the compile attempt happens at most once per process.
     """
     global _lib, _tried
-    if os.environ.get(CKERNELS_ENV_VAR, "1") == "0":
+    if flags.CKERNELS.read() == "0":
         return None
     if _tried:
         return _lib

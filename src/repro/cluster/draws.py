@@ -38,18 +38,19 @@ before/after.
 
 from __future__ import annotations
 
-import os
 from typing import Optional
 
 import numpy as np
 
+from repro import flags
 from repro.cluster import _ckernels
 from repro.exceptions import ConfigurationError
 
-DRAWS_ENV_VAR = "REPRO_DRAWS"
-"""Environment variable selecting the draw path (``batched`` or ``legacy``)."""
+DRAWS_ENV_VAR = flags.DRAWS.name
+"""Environment variable selecting the draw path (``batched`` or ``legacy``).
 
-_DRAWS_CHOICES = ("batched", "legacy")
+Declared (with its choices and default) in :mod:`repro.flags`.
+"""
 
 _TWO128 = 1 << 128
 
@@ -64,12 +65,7 @@ def resolve_draws_mode(explicit: Optional[str] = None) -> str:
     Raises:
         ConfigurationError: On an unrecognised mode name.
     """
-    mode = explicit if explicit is not None else os.environ.get(DRAWS_ENV_VAR, "batched")
-    if mode not in _DRAWS_CHOICES:
-        raise ConfigurationError(
-            f"draws mode must be one of {_DRAWS_CHOICES}, got {mode!r}"
-        )
-    return mode
+    return flags.DRAWS.read(explicit)
 
 
 class StreamAccountingError(RuntimeError):

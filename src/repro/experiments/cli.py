@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.tables import ResultTable
 from repro.exceptions import ConfigurationError, ReproError
+from repro.flags import reject_unknown_flags
 from repro.experiments.registry import all_scenarios, get_scenario
 from repro.experiments.results import SweepResult, load_sweep_artifact
 from repro.experiments.runner import SweepRunner
@@ -664,6 +665,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # A typo'd REPRO_* variable (say REPRO_DRAW=legacy) would silently
+        # run the default code path of a long sweep; fail before any work.
+        reject_unknown_flags()
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,109 @@
+"""Baseline I/O: grandfathered findings, checked in and reviewed like code.
+
+A baseline lets the linter gate CI from day one without requiring every
+historical finding to be fixed in the same change: findings recorded in the
+baseline are reported as "baselined" and do not fail the build; anything
+*new* does.  Entries match on ``(module, rule, stripped-source-line)``
+rather than line numbers, so unrelated edits do not invalidate them, while
+touching the offending line itself resurfaces the finding.
+
+The file is deliberately human-reviewable JSON (sorted, indented — written
+with ``sort_keys=True``, of course): an entry added in a PR is visible in
+the diff and must justify itself in review, which is what keeps the
+baseline shrinking instead of growing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.lint.findings import Finding
+
+#: Format version of the baseline file.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]  # (module, rule, code)
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    """Write ``findings`` as a baseline file (sorted, stable bytes)."""
+    entries = [
+        {"module": module, "rule": rule, "code": code}
+        for module, rule, code in sorted(finding.key() for finding in findings)
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.lint",
+        "entries": entries,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: str) -> Counter:
+    """Load a baseline into a multiset of ``(module, rule, code)`` keys.
+
+    A missing file is an empty baseline (so ``--baseline`` can point at a
+    file that does not exist yet); a malformed file is a hard error.
+    """
+    if not os.path.exists(path):
+        return Counter()
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"baseline {path!r} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ConfigurationError(
+            f"baseline {path!r} has no 'entries' list (expected the "
+            f"repro.lint baseline format)"
+        )
+    if payload.get("version") != BASELINE_VERSION:
+        raise ConfigurationError(
+            f"baseline {path!r} has version {payload.get('version')!r}; "
+            f"this linter reads version {BASELINE_VERSION}"
+        )
+    keys: Counter = Counter()
+    for entry in payload["entries"]:
+        try:
+            keys[(entry["module"], entry["rule"], entry["code"])] += 1
+        except (TypeError, KeyError):
+            raise ConfigurationError(
+                f"baseline {path!r} entry {entry!r} is missing "
+                f"module/rule/code"
+            )
+    return keys
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Partition findings against a baseline multiset.
+
+    Returns:
+        ``(new, baselined, stale)`` — findings not covered by the baseline
+        (these fail the build), findings the baseline grandfathers, and
+        baseline entries matching nothing (fixed findings whose entries
+        should be dropped via ``--update-baseline``).
+    """
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in sorted(findings):
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    stale = [
+        {"module": module, "rule": rule, "code": code}
+        for (module, rule, code), count in sorted(remaining.items())
+        for _ in range(count)
+        if count > 0
+    ]
+    return new, baselined, stale

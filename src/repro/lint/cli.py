@@ -1,0 +1,163 @@
+"""Command-line interface of the determinism linter.
+
+::
+
+    python -m repro.lint [paths ...]
+        [--baseline lint-baseline.json] [--update-baseline]
+        [--format text|json] [--rules]
+
+Paths default to ``src/``.  Exit codes: ``0`` — clean (every finding
+suppressed by pragma or grandfathered by the baseline), ``1`` — at least
+one non-baselined finding, ``2`` — usage error (bad path, malformed
+baseline).  ``--update-baseline`` rewrites the baseline to exactly the
+current findings (dropping stale entries) and exits 0; the diff of the
+baseline file is then reviewed like any other code change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from repro.exceptions import ReproError
+from repro.flags import reject_unknown_flags
+from repro.lint.api import LintResult, lint_paths
+from repro.lint.baseline import load_baseline, save_baseline, split_by_baseline
+from repro.lint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro.lint`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analyzer enforcing the repo's determinism contract: "
+            "seed discipline (DET001/DET002/DET005), clock-free canonical "
+            "paths (DET003), order-stable serialization (DET004/DET006) and "
+            "the central REPRO_* flag registry (DET007).  Lint cleanliness "
+            "is part of the byte-identity guarantee CI enforces."
+        ),
+        epilog=(
+            "examples:\n"
+            "  python -m repro.lint src/ --baseline lint-baseline.json\n"
+            "  python -m repro.lint src/repro/wan/ --format json\n"
+            "  python -m repro.lint --rules\n"
+            "suppress a single line with a justified pragma:\n"
+            "  ...  # repro: allow[DET003] progress display only, never serialized\n"
+        ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src/)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="baseline of grandfathered findings; findings in it do not fail "
+             "the build (a missing file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline to exactly the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", action="store_true",
+        help="list the rules and exit",
+    )
+    return parser
+
+
+def _print_rules() -> None:
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}  {rule.title}")
+        doc = (type(rule).__module__ and sys.modules[type(rule).__module__].__doc__) or ""
+        summary = doc.strip().splitlines()[0] if doc.strip() else ""
+        if summary:
+            print(f"        {summary}")
+
+
+def _report_text(
+    result: LintResult, new, baselined, stale, baseline_path: Optional[str]
+) -> None:
+    for finding in new:
+        print(finding.render())
+    for entry in stale:
+        print(
+            f"warning: stale baseline entry (fixed? run --update-baseline): "
+            f"{entry['module']}: {entry['rule']} {entry['code']!r}"
+        )
+    bits = [f"{len(new)} finding(s)"]
+    if baselined:
+        bits.append(f"{len(baselined)} baselined")
+    if result.suppressed:
+        bits.append(f"{len(result.suppressed)} suppressed by pragma")
+    if stale:
+        bits.append(f"{len(stale)} stale baseline entr(y/ies)")
+    print(f"{', '.join(bits)} across {result.files} file(s)")
+    if new and baseline_path is None:
+        print(
+            "(fix the findings, add a justified '# repro: allow[...]' pragma, "
+            "or grandfather them with --baseline FILE --update-baseline)"
+        )
+
+
+def _report_json(result: LintResult, new, baselined, stale) -> None:
+    payload = {
+        "files": result.files,
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in baselined],
+        "suppressed": [
+            {**finding.to_dict(), "reason": reason}
+            for finding, reason in result.suppressed
+        ],
+        "stale_baseline_entries": stale,
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.rules:
+        _print_rules()
+        return 0
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
+
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not os.path.exists(path)]
+    if missing:
+        print(f"error: no such path(s): {missing}", file=sys.stderr)
+        return 2
+
+    try:
+        reject_unknown_flags()
+        result = lint_paths(paths)
+        if args.update_baseline:
+            save_baseline(args.baseline, result.findings)
+            print(
+                f"wrote {args.baseline}: {len(result.findings)} grandfathered "
+                f"finding(s) across {result.files} file(s)"
+            )
+            return 0
+        baseline = load_baseline(args.baseline) if args.baseline else None
+        new, baselined, stale = split_by_baseline(
+            result.findings, baseline if baseline is not None else {}
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _report_json(result, new, baselined, stale)
+    else:
+        _report_text(result, new, baselined, stale, args.baseline)
+    return 1 if new else 0

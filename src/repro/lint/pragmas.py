@@ -1,0 +1,124 @@
+"""Per-line suppression pragmas: ``# repro: allow[DET001] <reason>``.
+
+A pragma suppresses findings of the named rule(s) **on its own line only**,
+and must carry a non-empty reason — the reason is the audit trail that turns
+"someone silenced the linter" into "someone documented why this wall-clock
+read cannot leak into canonical bytes".  Multiple rules share one pragma:
+``# repro: allow[DET001,DET005] exploratory sampler, results never serialized``.
+
+Malformed pragmas (unknown rule id, missing reason, bad syntax) are
+themselves reported as rule ``DET000`` findings and cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.lint.findings import Finding
+
+#: Rule id of lint-usage errors (malformed pragmas, unparsable files).
+META_RULE = "DET000"
+
+_PRAGMA_MARKER = re.compile(r"#\s*repro\s*:")
+_PRAGMA = re.compile(
+    r"#\s*repro\s*:\s*allow\[(?P<ids>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+_RULE_ID = re.compile(r"^DET\d{3}$")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int
+    rules: FrozenSet[str]
+    reason: str
+
+
+def _comment_tokens(source: str) -> Dict[int, str]:
+    """Comment text by 1-based line, via the tokenizer.
+
+    Tokenizing (rather than regex-scanning raw lines) means pragma-shaped
+    text inside string literals is never mistaken for a pragma.  The source
+    has already survived ``ast.parse`` by the time we are called, so
+    tokenizer errors cannot normally occur; if one does we degrade to "no
+    pragmas" rather than crashing the lint run.
+    """
+    comments: Dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):
+        pass
+    return comments
+
+
+def parse_pragmas(
+    source: str, module: str, known_rules: FrozenSet[str]
+) -> Tuple[Dict[int, Pragma], List[Finding]]:
+    """Extract the pragmas of a module.
+
+    Args:
+        source: Source text of the module (must already parse).
+        module: Normalized module path (for error findings).
+        known_rules: Valid rule ids; a pragma naming anything else is an
+            error (it would silently suppress nothing).
+
+    Returns:
+        ``(pragmas, errors)`` — pragmas keyed by 1-based line number, and
+        :data:`META_RULE` findings for every malformed pragma.
+    """
+    lines: List[str] = source.splitlines()
+    pragmas: Dict[int, Pragma] = {}
+    errors: List[Finding] = []
+
+    def error(lineno: int, message: str) -> None:
+        errors.append(
+            Finding(
+                module=module,
+                line=lineno,
+                col=0,
+                rule=META_RULE,
+                message=message,
+                code=lines[lineno - 1].strip(),
+            )
+        )
+
+    for lineno, text in sorted(_comment_tokens(source).items()):
+        if not _PRAGMA_MARKER.search(text):
+            continue
+        match = _PRAGMA.search(text)
+        if not match:
+            error(
+                lineno,
+                "malformed pragma: expected '# repro: allow[DET00X] <reason>'",
+            )
+            continue
+        ids = [part.strip() for part in match.group("ids").split(",") if part.strip()]
+        reason = match.group("reason").strip()
+        if not ids:
+            error(lineno, "pragma allows no rules: name at least one DET rule id")
+            continue
+        unknown = [rule for rule in ids if not _RULE_ID.match(rule) or rule not in known_rules]
+        if unknown:
+            error(
+                lineno,
+                f"pragma names unknown rule(s) {unknown}; known rules: "
+                f"{sorted(known_rules)}",
+            )
+            continue
+        if not reason:
+            error(
+                lineno,
+                "pragma is missing its reason: every suppression must say "
+                "why the finding is safe (e.g. '# repro: allow[DET003] "
+                "progress display only, never serialized')",
+            )
+            continue
+        pragmas[lineno] = Pragma(line=lineno, rules=frozenset(ids), reason=reason)
+    return pragmas, errors

@@ -1,0 +1,71 @@
+"""DET001 — no seedless generator construction outside the sanctioned site.
+
+Every guarantee the artifact pipeline makes (byte-identical sweeps at any
+worker count, across shards, resume histories and fast-path flags) assumes
+all randomness flows through explicitly-seeded
+:class:`numpy.random.Generator` substreams.  A bare
+``np.random.default_rng()`` — or an explicit ``default_rng(None)`` /
+``SeedSequence()`` / ``substream(None, ...)`` — draws fresh OS entropy and
+silently breaks that chain.  The only module allowed to construct from fresh
+entropy is ``repro/sim/rng.py`` itself (its ``substream(None, ...)``
+escape hatch for exploratory use).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: The one module allowed to construct generators from fresh entropy.
+SANCTIONED_MODULES = frozenset({"repro/sim/rng.py"})
+
+#: Callables that construct randomness from their first (seed) argument.
+_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "repro.sim.rng.substream",
+    }
+)
+
+
+def _seed_argument(call: ast.Call):
+    """The call's seed argument node, or ``None`` when omitted."""
+    if call.args:
+        return call.args[0]
+    for keyword in call.keywords:
+        if keyword.arg in ("seed", "entropy"):
+            return keyword.value
+    return None
+
+
+class SeedlessRngRule(Rule):
+    """Flag seedless ``default_rng()`` / ``SeedSequence()`` / ``substream(None)``."""
+
+    rule_id = "DET001"
+    title = "generators must be constructed from an explicit seed"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module in SANCTIONED_MODULES:
+            return
+        for call, name in ctx.calls():
+            if name not in _CONSTRUCTORS:
+                continue
+            seed = _seed_argument(call)
+            seedless = seed is None or (
+                isinstance(seed, ast.Constant) and seed.value is None
+            )
+            if seedless:
+                short = name.rsplit(".", 1)[-1]
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"seedless {short}() constructs a generator from fresh OS "
+                    f"entropy — pass an explicit seed, accept an rng/seed "
+                    f"parameter, or derive a stream via "
+                    f"repro.sim.rng.substream(seed, ...)",
+                )

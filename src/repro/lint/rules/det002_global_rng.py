@@ -1,0 +1,69 @@
+"""DET002 — no module-level global RNG use.
+
+The stdlib ``random`` module and numpy's legacy ``np.random.<dist>``
+functions draw from *process-global* generator state: any draw anywhere
+(another library, an earlier test, a different chunk ordering in the pool)
+shifts every later draw, which is exactly the cross-run coupling the
+per-point substream design exists to prevent.  All randomness must come
+from an explicitly-constructed :class:`numpy.random.Generator`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: ``numpy.random`` attributes that are NOT global-state draws: explicit
+#: constructors of generators / bit generators / seed material.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "RandomState",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+
+class GlobalRngRule(Rule):
+    """Flag ``random.*`` calls and legacy ``np.random.<dist>`` global draws."""
+
+    rule_id = "DET002"
+    title = "randomness must come from explicit generators, not global state"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call, name in ctx.calls():
+            if name is None:
+                continue
+            if name.startswith("random."):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"{name}() draws from the process-global stdlib RNG — "
+                    f"use a seeded numpy Generator (repro.sim.rng.substream) "
+                    f"instead",
+                )
+                continue
+            parts = name.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] == "numpy"
+                and parts[1] == "random"
+                and parts[2] not in _NUMPY_CONSTRUCTORS
+            ):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"np.random.{parts[2]}() draws from numpy's process-global "
+                    f"legacy RNG — draw from an explicit Generator instance "
+                    f"instead",
+                )

@@ -1,0 +1,98 @@
+"""DET004 — no order-sensitive iteration over sets in the artifact pipeline.
+
+CPython salts string hashing per process, so iterating a ``set`` of strings
+yields a different order in every worker — and the experiments layer is
+exactly where iteration order becomes *bytes* (JSONL lines, accumulated
+records, CSV rows).  Inside ``repro/experiments/``, any set expression used
+where order is captured — the iterable of a ``for`` loop or comprehension,
+or an order-preserving conversion such as ``list(...)``/``tuple(...)``/
+``enumerate(...)``/``str.join`` — must go through ``sorted(...)`` first.
+Order-insensitive consumers (``sum``, ``min``, ``max``, ``len``, ``any``,
+``all``, membership tests, set algebra) are fine as they are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: Modules the rule applies to: where iteration order becomes artifact bytes.
+SCOPE_PREFIX = "repro/experiments/"
+
+#: Builtins that consume an iterable without capturing its order.
+_ORDER_INSENSITIVE = frozenset(
+    {"sorted", "sum", "min", "max", "len", "any", "all", "set", "frozenset", "bool"}
+)
+
+#: Callables that capture iteration order into a sequence.
+_ORDER_CAPTURING = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+def _is_set_expression(node: ast.AST, ctx: ModuleContext) -> bool:
+    """Whether ``node`` statically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = ctx.dotted(node.func)
+        if name in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # Set algebra on set expressions (union/intersection/difference).
+        return _is_set_expression(node.left, ctx) or _is_set_expression(node.right, ctx)
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    """Flag order-capturing iteration over set expressions in experiments modules."""
+
+    rule_id = "DET004"
+    title = "set iteration feeding serialization must be wrapped in sorted()"
+
+    def _offending_use(self, node: ast.AST, ctx: ModuleContext) -> Optional[str]:
+        """How the set's order is captured, or ``None`` when it is not."""
+        parent = ctx.parent(node)
+        if isinstance(parent, (ast.For, ast.AsyncFor)) and parent.iter is node:
+            return "a for loop"
+        if isinstance(parent, ast.comprehension) and parent.iter is node:
+            return "a comprehension"
+        if isinstance(parent, ast.Call) and node in parent.args:
+            name = ctx.dotted(parent.func)
+            if name in _ORDER_INSENSITIVE:
+                return None
+            if name in _ORDER_CAPTURING:
+                return f"{name}(...)"
+            if name is not None and name.endswith(".join"):
+                return "str.join"
+            return None
+        if isinstance(parent, ast.Starred):
+            return "argument unpacking"
+        return None
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.module.startswith(SCOPE_PREFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not _is_set_expression(node, ctx):
+                continue
+            # Nested set expressions (the operands of set algebra) are
+            # reported via their outermost expression only.
+            parent = ctx.parent(node)
+            if parent is not None and _is_set_expression(parent, ctx):
+                continue
+            use = self._offending_use(node, ctx)
+            if use is None:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"iteration order of a set is captured by {use} in an "
+                f"artifact-producing module — wrap the set in sorted(...) "
+                f"(string hashes are salted per process, so set order "
+                f"differs across workers)",
+            )

@@ -1,0 +1,50 @@
+"""DET006 — every ``json.dumps`` passes ``sort_keys=True``.
+
+Canonical artifact bytes must not depend on dict construction order.
+Python dicts preserve insertion order, so two code paths that assemble the
+same mapping in different orders serialize to different bytes — the exact
+failure mode the shard-merge and resume byte-identity guarantees forbid.
+``sort_keys=True`` makes serialization a pure function of the mapping's
+*contents*; the rule demands it on every ``json.dumps``/``json.dump`` call
+in ``src/`` (a JSON writer that is genuinely display-only can carry a
+``# repro: allow[DET006] ...`` pragma).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+_DUMPERS = frozenset({"json.dumps", "json.dump"})
+
+
+class JsonSortKeysRule(Rule):
+    """Flag ``json.dumps``/``json.dump`` calls without ``sort_keys=True``."""
+
+    rule_id = "DET006"
+    title = "JSON serialization is order-stable (sort_keys=True)"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call, name in ctx.calls():
+            if name not in _DUMPERS:
+                continue
+            sorted_keys = any(
+                keyword.arg == "sort_keys"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in call.keywords
+            )
+            if sorted_keys:
+                continue
+            short = name.rsplit(".", 1)[-1]
+            yield self.finding(
+                ctx,
+                call,
+                f"json.{short}(...) without sort_keys=True serializes in dict "
+                f"construction order — canonical bytes must be a pure function "
+                f"of content; pass sort_keys=True",
+            )

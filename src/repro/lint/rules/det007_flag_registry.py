@@ -1,0 +1,108 @@
+"""DET007 — every ``REPRO_*`` flag lives in the central registry.
+
+:mod:`repro.flags` is the single source of truth for environment flags: a
+declaration there gives the flag a default, a closed value set, a docstring
+and typo rejection.  This rule enforces the boundary statically:
+
+* outside ``repro/flags.py``, no code reads ``os.environ``/``os.getenv``
+  with a ``REPRO_*`` name (read the declared :class:`repro.flags.Flag`
+  instead);
+* inside ``repro/flags.py``, every ``declare(...)`` call uses a literal
+  ``REPRO_*`` name and a non-empty literal ``help=`` string, so the
+  registry stays statically enumerable (this rule, docs and future tooling
+  all read it without importing anything).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.rules.base import Rule
+
+#: The one module allowed to touch the environment for REPRO_* flags.
+FLAGS_MODULE = "repro/flags.py"
+
+#: Environment accessors taking the variable name as first argument.
+_ENV_GETTERS = frozenset(
+    {
+        "os.getenv",
+        "os.environ.get",
+        "os.environ.pop",
+        "os.environ.setdefault",
+        "os.environ.__getitem__",
+    }
+)
+
+
+def _env_name_argument(ctx: ModuleContext, node: ast.AST) -> Optional[ast.AST]:
+    """The env-var-name node of an environment access, if ``node`` is one."""
+    if isinstance(node, ast.Call):
+        if ctx.dotted(node.func) in _ENV_GETTERS and node.args:
+            return node.args[0]
+        return None
+    if isinstance(node, ast.Subscript) and ctx.dotted(node.value) == "os.environ":
+        return node.slice
+    return None
+
+
+class FlagRegistryRule(Rule):
+    """Flag REPRO_* environment reads outside the registry, and bad declarations."""
+
+    rule_id = "DET007"
+    title = "REPRO_* flags are declared once, in repro/flags.py"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module == FLAGS_MODULE:
+            yield from self._check_declarations(ctx)
+            return
+        for node in ast.walk(ctx.tree):
+            name_node = _env_name_argument(ctx, node)
+            if name_node is None:
+                continue
+            value = ctx.string_value(name_node)
+            if value is None or not value.startswith("REPRO_"):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"environment read of {value!r} bypasses the central flag "
+                f"registry — declare the flag in repro/flags.py and read it "
+                f"via its Flag.read() accessor",
+            )
+
+    def _check_declarations(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call, name in ctx.calls():
+            if name is None or name.rsplit(".", 1)[-1] != "declare":
+                continue
+            first = call.args[0] if call.args else None
+            literal = isinstance(first, ast.Constant) and isinstance(first.value, str)
+            if not literal or not first.value.startswith("REPRO_"):
+                yield self.finding(
+                    ctx,
+                    call,
+                    "declare(...) needs a literal 'REPRO_*' name as its first "
+                    "argument so the registry stays statically enumerable",
+                )
+                continue
+            help_kw = next(
+                (kw for kw in call.keywords if kw.arg == "help"), None
+            )
+            help_text = None
+            if help_kw is not None and isinstance(help_kw.value, ast.Constant):
+                help_text = help_kw.value.value
+            elif help_kw is not None and isinstance(help_kw.value, ast.JoinedStr):
+                help_text = "<f-string>"
+            elif help_kw is not None:
+                # Implicitly concatenated string literals parse as Constant;
+                # anything else (names, calls) is not statically readable.
+                help_text = None
+            if not (isinstance(help_text, str) and help_text.strip()):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"declaration of {first.value!r} needs a non-empty literal "
+                    f"help= docstring",
+                )

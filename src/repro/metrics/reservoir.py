@@ -33,8 +33,11 @@ class Reservoir:
         Args:
             name: Metric name.
             capacity: Maximum number of samples retained (>= 1).
-            seed: Seed for the replacement RNG (``None`` = fresh entropy; the
-                deterministic default keeps experiment runs reproducible).
+            seed: Seed for the replacement RNG.  The deterministic default
+                keeps experiment runs reproducible (the repo's determinism
+                contract: entry points never construct unseeded generators
+                implicitly); pass ``None`` explicitly to opt into fresh OS
+                entropy for exploratory use.
         """
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity!r}")

@@ -32,16 +32,17 @@ from __future__ import annotations
 
 import heapq
 import math
-import os
 from typing import Any, Callable, Optional
 
-from repro.exceptions import SimulationError
+from repro import flags
+from repro.exceptions import ConfigurationError, SimulationError
 from repro.sim.events import Event, EventState
 
 #: Environment variable overriding the default queue backend for every
 #: ``Simulator()`` created without an explicit ``queue=`` argument.  Used by
 #: CI to re-run whole sweeps under ``calendar`` and ``cmp`` the artifacts.
-QUEUE_ENV_VAR = "REPRO_SIM_QUEUE"
+#: Declared (with its choices) in :mod:`repro.flags`.
+QUEUE_ENV_VAR = flags.SIM_QUEUE.name
 
 _QUEUE_CHOICES = ("auto", "heap", "calendar")
 
@@ -90,7 +91,10 @@ class Simulator:
     def __init__(self, start_time: float = 0.0, queue: Optional[str] = None) -> None:
         """Create a simulator whose clock starts at ``start_time`` seconds."""
         if queue is None:
-            queue = os.environ.get(QUEUE_ENV_VAR, "auto")
+            try:
+                queue = flags.SIM_QUEUE.read()
+            except ConfigurationError as exc:
+                raise SimulationError(str(exc)) from exc
         if queue not in _QUEUE_CHOICES:
             raise SimulationError(
                 f"queue must be one of {_QUEUE_CHOICES}, got {queue!r}"

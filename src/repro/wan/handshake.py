@@ -26,7 +26,15 @@ from repro.core.costbenefit import CostBenefitAnalysis, DEFAULT_BREAK_EVEN_MS_PE
 from repro.core.policy import PolicyLike, eager_copies, parse_policy, policy_to_spec
 from repro.exceptions import ConfigurationError
 from repro.metrics import LatencyRecorder
+from repro.sim.rng import substream
 from repro.wan.loss import PAIR_LOSS_PROBABILITY, SINGLE_LOSS_PROBABILITY
+
+#: Seed of the generator used when a sampling method is called without an
+#: explicit ``rng``.  Library entry points never construct *unseeded*
+#: generators (the repo-wide determinism contract, lint rule DET001): an
+#: omitted ``rng`` means "give me the deterministic default stream", not
+#: "give me fresh OS entropy".
+DEFAULT_SAMPLING_SEED = 0
 
 
 @dataclass(frozen=True)
@@ -190,11 +198,13 @@ class HandshakeModel:
         Args:
             copies: Copies of each handshake packet.
             num_samples: Number of handshakes to simulate.
-            rng: Random generator (fresh default if omitted).
+            rng: Random generator; omitted, a deterministic substream seeded
+                with :data:`DEFAULT_SAMPLING_SEED` is used, so repeated calls
+                return identical samples.
         """
         if num_samples < 1:
             raise ConfigurationError("num_samples must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else substream(DEFAULT_SAMPLING_SEED, "wan.handshake")
         loss = self.loss_probability(copies)
         total = np.zeros(num_samples)
         for initial_timeout in self._packet_timeouts():
@@ -247,7 +257,8 @@ class HandshakeModel:
                 percentile hedging has no per-handshake latency feedback loop
                 at the packet layer).
             num_samples: Number of handshakes to simulate.
-            rng: Random generator (fresh default if omitted).
+            rng: Random generator; omitted, a deterministic substream seeded
+                with :data:`DEFAULT_SAMPLING_SEED` is used.
 
         Returns:
             ``(completion_times, backup_packets_sent)`` — the per-handshake
@@ -270,7 +281,7 @@ class HandshakeModel:
             )
         if num_samples < 1:
             raise ConfigurationError("num_samples must be >= 1")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else substream(DEFAULT_SAMPLING_SEED, "wan.handshake")
         delays = resolved.plan().launch_delays
         loss = self.single_loss
         total = np.zeros(num_samples)

@@ -36,6 +36,7 @@ class CorrelatedLossChannel:
         single_loss: float = SINGLE_LOSS_PROBABILITY,
         pair_loss: float = PAIR_LOSS_PROBABILITY,
         rng: Optional[np.random.Generator] = None,
+        seed: int = 0,
     ) -> None:
         """Create a channel.
 
@@ -44,7 +45,11 @@ class CorrelatedLossChannel:
             pair_loss: Probability both packets of a duplicated pair are lost
                 (must not exceed ``single_loss``; correlation cannot make a
                 pair *more* likely to vanish than a single packet).
-            rng: Random generator for Monte-Carlo use.
+            rng: Random generator for Monte-Carlo use; omitted, a generator
+                seeded with ``seed`` is constructed (library entry points
+                never construct unseeded generators implicitly — the repo's
+                determinism contract, lint rule DET001).
+            seed: Seed of the fallback generator when ``rng`` is omitted.
 
         Raises:
             ConfigurationError: On probabilities outside [0, 1] or
@@ -58,7 +63,7 @@ class CorrelatedLossChannel:
             )
         self.single_loss = float(single_loss)
         self.pair_loss = float(pair_loss)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
 
     def loss_probability(self, copies: int) -> float:
         """Probability that *all* ``copies`` transmissions of a packet are lost.

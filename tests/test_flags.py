@@ -1,0 +1,123 @@
+"""Tests of the central REPRO_* flag registry (repro.flags)."""
+
+import pytest
+
+from repro import flags
+from repro.exceptions import ConfigurationError
+
+
+class TestFlagRead:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DRAWS", raising=False)
+        assert flags.DRAWS.read() == "batched"
+
+    def test_environment_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DRAWS", "legacy")
+        assert flags.DRAWS.read() == "legacy"
+
+    def test_explicit_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DRAWS", "legacy")
+        assert flags.DRAWS.read("batched") == "batched"
+
+    def test_invalid_environment_value_names_the_flag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_QUEUE", "bogus")
+        with pytest.raises(ConfigurationError, match="REPRO_SIM_QUEUE"):
+            flags.SIM_QUEUE.read()
+
+    def test_invalid_explicit_value_says_explicit(self):
+        with pytest.raises(ConfigurationError, match="explicit value"):
+            flags.CKERNELS.read("yes")
+
+    def test_is_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CKERNELS", raising=False)
+        assert not flags.CKERNELS.is_set()
+        monkeypatch.setenv("REPRO_CKERNELS", "0")
+        assert flags.CKERNELS.is_set()
+
+
+class TestDeclare:
+    def test_successful_declaration_registers(self):
+        flag = flags.declare(
+            "REPRO_TEST_ONLY", default="x", choices=("x", "y"), help="test flag"
+        )
+        try:
+            assert flags.REGISTRY["REPRO_TEST_ONLY"] is flag
+            assert flags.read_flag("REPRO_TEST_ONLY") == "x"
+        finally:
+            del flags.REGISTRY["REPRO_TEST_ONLY"]
+
+    def test_rejects_name_without_prefix(self):
+        with pytest.raises(ConfigurationError, match="REPRO_"):
+            flags.declare("OTHER_FLAG", default="x", choices=("x",), help="h")
+
+    def test_rejects_duplicate_name(self):
+        with pytest.raises(ConfigurationError, match="already declared"):
+            flags.declare(
+                "REPRO_DRAWS", default="batched", choices=("batched",), help="dup"
+            )
+
+    def test_rejects_default_outside_choices(self):
+        with pytest.raises(ConfigurationError, match="not among"):
+            flags.declare("REPRO_BAD", default="z", choices=("x", "y"), help="h")
+
+    def test_rejects_empty_help(self):
+        with pytest.raises(ConfigurationError, match="help"):
+            flags.declare("REPRO_BAD", default="x", choices=("x",), help="  ")
+
+
+class TestRegistry:
+    def test_known_flags_are_declared(self):
+        assert {"REPRO_DRAWS", "REPRO_CKERNELS", "REPRO_SIM_QUEUE"} <= set(
+            flags.REGISTRY
+        )
+
+    def test_every_flag_has_help_and_valid_default(self):
+        for flag in flags.REGISTRY.values():
+            assert flag.help.strip()
+            assert flag.default in flag.choices
+
+    def test_read_flag_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown flag"):
+            flags.read_flag("REPRO_NO_SUCH_FLAG")
+
+
+class TestUnknownFlags:
+    def test_unknown_flags_reports_undeclared_repro_vars(self):
+        environ = {"REPRO_DRAWS": "legacy", "REPRO_TYPO": "1", "PATH": "/bin"}
+        assert flags.unknown_flags(environ) == ["REPRO_TYPO"]
+
+    def test_reject_unknown_flags_raises_with_names(self):
+        environ = {"REPRO_DRAW": "legacy"}
+        with pytest.raises(ConfigurationError, match="REPRO_DRAW"):
+            flags.reject_unknown_flags(environ)
+
+    def test_reject_unknown_flags_passes_clean_environ(self):
+        flags.reject_unknown_flags({"REPRO_CKERNELS": "0", "HOME": "/root"})
+
+    def test_reject_unknown_flags_reads_os_environ(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEFINITELY_NOT_A_FLAG", "1")
+        with pytest.raises(ConfigurationError, match="REPRO_DEFINITELY_NOT_A_FLAG"):
+            flags.reject_unknown_flags()
+
+
+class TestConsumersHonourRegistry:
+    """The migrated call sites resolve through the declared flags."""
+
+    def test_draws_resolver_uses_registry(self, monkeypatch):
+        from repro.cluster.draws import DRAWS_ENV_VAR, resolve_draws_mode
+
+        assert DRAWS_ENV_VAR == flags.DRAWS.name
+        monkeypatch.setenv(DRAWS_ENV_VAR, "legacy")
+        assert resolve_draws_mode(None) == "legacy"
+        with pytest.raises(ConfigurationError):
+            resolve_draws_mode("turbo")
+
+    def test_ckernels_env_var_is_declared(self):
+        from repro.cluster._ckernels import CKERNELS_ENV_VAR
+
+        assert CKERNELS_ENV_VAR == flags.CKERNELS.name
+
+    def test_sim_queue_env_var_is_declared(self):
+        from repro.sim.engine import QUEUE_ENV_VAR
+
+        assert QUEUE_ENV_VAR == flags.SIM_QUEUE.name
