@@ -2,9 +2,10 @@
 """Docs-consistency check: smoke-run every documented experiments command.
 
 CI runs this script (``PYTHONPATH=src python scripts/check_docs_commands.py``).
-It extracts every ``python -m repro.experiments ...`` and
-``python -m repro.lint ...`` command from the fenced code blocks of
-``EXPERIMENTS.md`` and ``README.md`` and executes each one:
+It extracts every ``python -m repro.experiments ...``,
+``python -m repro.lint ...`` and ``python -m repro.serve ...`` command from
+the fenced code blocks of ``EXPERIMENTS.md`` and ``README.md`` and executes
+each one:
 
 * ``list`` / ``show`` commands run exactly as written;
 * ``run`` commands are shrunk to smoke size — ``--workers 1``, ``--quiet``,
@@ -21,7 +22,11 @@ It extracts every ``python -m repro.experiments ...`` and
   documented lint invocation really exits 0 on the shipped tree), except
   that an ``--update-baseline`` example has its ``--baseline`` path
   redirected into the temp directory so docs checking never rewrites the
-  checked-in baseline.
+  checked-in baseline;
+* ``repro.serve`` commands are shrunk to smoke size — request counts and
+  durations capped, ``--json`` redirected into the temp directory, and the
+  documented ``--assert-floor`` (a measured dev-machine number) lowered
+  to 1.
 
 It also fails if any registered scenario is missing from ``EXPERIMENTS.md``,
 so the catalogue and the reproduction guide cannot drift apart.
@@ -39,7 +44,7 @@ from typing import Dict, List, Tuple
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DOCS = ("EXPERIMENTS.md", "README.md")
-MODULES = ("repro.experiments", "repro.lint")
+MODULES = ("repro.experiments", "repro.lint", "repro.serve")
 MARKERS = tuple(f"-m {module}" for module in MODULES)
 
 #: Tiny base-parameter overrides per adapter entry point, applied to ``run``
@@ -219,6 +224,44 @@ def rewrite_lint(args: List[str], tmpdir: str) -> List[str]:
     return out
 
 
+def rewrite_serve(args: List[str], tmpdir: str) -> List[str]:
+    """Smoke-size a documented ``repro.serve`` command.
+
+    ``run`` and ``bench`` requests are capped, ``--duration`` horizons are
+    shortened, ``--json`` artifacts are redirected into the temp directory,
+    and ``--assert-floor`` is lowered to 1 (the documented floor reflects
+    measured dev-machine throughput; docs checking only proves the command
+    shape works).
+    """
+    out: List[str] = []
+    skip = False
+    for index, token in enumerate(args):
+        if skip:
+            skip = False
+            continue
+        if token == "--requests":
+            cap = 2_000 if args[0] == "bench" else 500
+            out += [token, str(min(int(args[index + 1]), cap))]
+            skip = True
+            continue
+        if token == "--duration":
+            out += [token, str(min(float(args[index + 1]), 0.25))]
+            skip = True
+            continue
+        if token == "--json":
+            out += [token, os.path.join(tmpdir, os.path.basename(args[index + 1]))]
+            skip = True
+            continue
+        if token == "--assert-floor":
+            out += [token, "1"]
+            skip = True
+            continue
+        out.append(token)
+    if "--quiet" not in out:
+        out.append("--quiet")
+    return out
+
+
 def check_scenarios_documented(experiments_md: str) -> None:
     from repro.experiments import scenario_names
 
@@ -248,6 +291,8 @@ def main() -> int:
                 module, args = split_args(command)
                 if module == "repro.lint":
                     argv = rewrite_lint(args, tmpdir)
+                elif module == "repro.serve":
+                    argv = rewrite_serve(args, tmpdir)
                 elif args[0] == "run":
                     argv = rewrite_run(args, tmpdir, produced)
                 elif args[0] == "diff":

@@ -29,6 +29,23 @@ def _hash64(data: str) -> int:
 class ConsistentHashRing:
     """A consistent-hash ring mapping keys to server indices.
 
+    Invariants the rest of the repository builds on (property-tested in
+    ``tests/test_consistent_hash_properties.py``):
+
+    * **Balance.** Over a large keyspace, every server's share of primaries
+      stays within a factor of the fair share ``1/n`` that shrinks as
+      virtual nodes grow: empirically the relative deviation is at most
+      ~0.5 at 64 virtual nodes (the default) and at most ~0.25 at 256,
+      for pool sizes up to 32.
+    * **Minimal movement.** Growing the pool from ``n`` to ``n + 1``
+      servers remaps approximately ``1/(n + 1)`` of the keyspace — and
+      nothing else — because ring points are named by ``(server, vnode)``
+      and existing servers' points are identical in both rings.
+    * **Distinct successors.** ``replicas_for(key, k)`` returns ``k``
+      *distinct* server indices (the primary and its ``k - 1`` successors
+      in server-index space), which is what lets the serving layer send
+      k-copy requests without ever duplicating a backend.
+
     Attributes:
         num_servers: Number of physical servers on the ring.
         virtual_nodes: Number of ring positions per server (more positions =

@@ -35,6 +35,7 @@ from repro.cluster.draws import (
     sequential_finish_times,
 )
 from repro.cluster.lru_kernel import equal_item_capacity, lru_hit_flags
+from repro.core.cancellation import simulate_cancelling_arrivals
 from repro.core.policy import (
     PolicyLike,
     resolve_run_policy,
@@ -216,6 +217,9 @@ class DatabaseRunResult:
         copies_launched: Total reads actually dispatched (warmup included);
             smaller than ``copies * num_requests`` under hedging because
             suppressed backups never launch.
+        copies_cancelled: Reads cancelled while still queued after another
+            copy won (warmup included); ``None`` unless the policy cancels
+            on win (the event-driven cancellation engine ran).
     """
 
     load: float
@@ -226,6 +230,7 @@ class DatabaseRunResult:
     metrics: Optional[Dict[str, object]] = None
     policy_spec: Optional[str] = None
     copies_launched: Optional[int] = None
+    copies_cancelled: Optional[int] = None
 
     @property
     def mean(self) -> float:
@@ -412,6 +417,7 @@ class DatabaseClusterExperiment:
         overhead_unit = config.client_overhead_per_extra_copy()
         num_servers = config.num_servers
         mode = resolve_draws_mode(draws)
+        total_cancelled: Optional[int] = None
         if hedged is None and mode == "batched":
             overhead = overhead_unit * (k - 1)
             best, hits, misses = self._eager_batched(
@@ -444,17 +450,41 @@ class DatabaseClusterExperiment:
             servers = self._build_servers(run_seed=run_seed)
             self._warm_caches(servers, k)
 
-            def launch(request: int, copy: int, at: float) -> float:
-                server = servers[(int(primaries[request]) + copy) % num_servers]
-                completion, _hit = server.serve(
-                    at, int(file_ids[request]), float(sizes[request])
-                )
-                return completion
+            if hedged.cancel_on_win:
+                # Cancellation retroactively shifts queued starts, so the
+                # known-completion FIFO engine cannot express it; run the
+                # event-driven cancellable engine instead.  The no-cancel
+                # branch below stays byte-identical to earlier releases.
+                def server_index(request: int, copy: int) -> int:
+                    return (int(primaries[request]) + copy) % num_servers
 
-            finish_at, launched = simulate_hedged_arrivals(
-                hedged, arrival_times, k, launch
-            )
-            response = (finish_at - arrival_times) + overhead_unit * (launched - 1)
+                def begin(request: int, copy: int, at: float):
+                    return servers[server_index(request, copy)].probe(
+                        at, int(file_ids[request]), float(sizes[request])
+                    )
+
+                finish_at, launched, cancelled = simulate_cancelling_arrivals(
+                    hedged, arrival_times, k, server_index, begin
+                )
+                # Cancelled copies never produce a response for the client
+                # to combine, so they carry no per-copy client overhead.
+                billable = launched - cancelled
+                total_cancelled = int(cancelled.sum())
+            else:
+
+                def launch(request: int, copy: int, at: float) -> float:
+                    server = servers[(int(primaries[request]) + copy) % num_servers]
+                    completion, _hit = server.serve(
+                        at, int(file_ids[request]), float(sizes[request])
+                    )
+                    return completion
+
+                finish_at, launched = simulate_hedged_arrivals(
+                    hedged, arrival_times, k, launch
+                )
+                billable = launched
+                total_cancelled = None
+            response = (finish_at - arrival_times) + overhead_unit * (billable - 1)
             total_launched = int(launched.sum())
             hits = sum(s.cache.hits for s in servers)
             misses = sum(s.cache.misses for s in servers)
@@ -478,6 +508,7 @@ class DatabaseClusterExperiment:
             metrics=registry.snapshot(),
             policy_spec=run_policy_spec(hedged, k),
             copies_launched=total_launched,
+            copies_cancelled=total_cancelled,
         )
 
     def _eager_batched(

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.analysis.stats import LatencySummary
 from repro.cluster.draws import resolve_draws_mode, sequential_finish_times
+from repro.core.cancellation import simulate_cancelling_arrivals
 from repro.core.policy import (
     PolicyDriver,
     PolicyLike,
@@ -124,6 +125,9 @@ class MemcachedRunResult:
         copies_launched: Total copies actually issued (warmup included);
             under hedging, backups suppressed by a fast first response never
             launch.
+        copies_cancelled: Copies cancelled while still queued after another
+            copy won (warmup included); ``None`` unless the policy cancels
+            on win (the event-driven cancellation engine ran).
     """
 
     load: float
@@ -134,6 +138,7 @@ class MemcachedRunResult:
     metrics: Optional[Dict[str, object]] = None
     policy_spec: Optional[str] = None
     copies_launched: Optional[int] = None
+    copies_cancelled: Optional[int] = None
 
     @property
     def mean(self) -> float:
@@ -218,6 +223,7 @@ class MemcachedExperiment:
         real_extra_s = config.client_extra_copy_s + config.unmeasured_extra_copy_s
         client_time = config.client_base_s + (stub_extra_s if stub else real_extra_s) * (k - 1)
 
+        total_cancelled: Optional[int] = None
         if stub:
             # Stub build: the memcached call is a no-op, so the response time
             # is client processing only (plus its own small jitter).
@@ -281,22 +287,45 @@ class MemcachedExperiment:
                 num_requests, k
             )
             placements = self._choose_servers(placement_rng, num_requests, k)
-            free_at = np.zeros(config.num_servers)
 
-            def launch(request: int, copy: int, at: float) -> float:
-                server = placements[request, copy]
-                start = free_at[server] if free_at[server] > at else at
-                finish = start + service_times[request, copy]
-                free_at[server] = finish
-                return finish
+            if hedged.cancel_on_win:
+                # Cancellation retroactively shifts queued starts, so the
+                # known-completion FIFO engine cannot express it; run the
+                # event-driven cancellable engine.  Service times stay
+                # pre-drawn per (request, copy), so the two engines agree
+                # on what each copy would have cost.  The no-cancel branch
+                # below stays byte-identical to earlier releases.
+                def server_index(request: int, copy: int) -> int:
+                    return int(placements[request, copy])
 
-            finish_at, launched_arr = simulate_hedged_arrivals(
-                hedged, arrival_times, k, launch
-            )
+                def begin(request: int, copy: int, at: float):
+                    return ("service", float(service_times[request, copy]), 0.0)
+
+                finish_at, launched_arr, cancelled_arr = simulate_cancelling_arrivals(
+                    hedged, arrival_times, k, server_index, begin
+                )
+                # Cancelled copies never return a response, so they carry no
+                # per-copy client combining overhead.
+                billable = launched_arr - cancelled_arr
+                total_cancelled = int(cancelled_arr.sum())
+            else:
+                free_at = np.zeros(config.num_servers)
+
+                def launch(request: int, copy: int, at: float) -> float:
+                    server = placements[request, copy]
+                    start = free_at[server] if free_at[server] > at else at
+                    finish = start + service_times[request, copy]
+                    free_at[server] = finish
+                    return finish
+
+                finish_at, launched_arr = simulate_hedged_arrivals(
+                    hedged, arrival_times, k, launch
+                )
+                billable = launched_arr
             response = (
                 (finish_at - arrival_times)
                 + config.client_base_s
-                + real_extra_s * (launched_arr - 1)
+                + real_extra_s * (billable - 1)
             )
             total_launched = int(launched_arr.sum())
 
@@ -316,6 +345,7 @@ class MemcachedExperiment:
             metrics=registry.snapshot(),
             policy_spec=run_policy_spec(hedged, k),
             copies_launched=total_launched,
+            copies_cancelled=total_cancelled,
         )
 
     def _choose_servers(

@@ -110,6 +110,29 @@ class StorageServerModel:
         self.disk_free_at = finish
         return finish + self.memory_service_s, False
 
+    def probe(self, arrival_time: float, file_id: object, size_bytes: float):
+        """Dispatch-time work for the cancellable hedged engine.
+
+        Performs exactly the per-copy work :meth:`serve` does at dispatch —
+        the cache access and (on a miss) the service-time draw, in the same
+        order and from the same generator — but leaves the disk queue to the
+        caller, which owns a cancellable version of it.
+
+        Returns:
+            ``("done", completion_time)`` for a cache hit (memory service,
+            no queueing), or ``("service", disk_service_s, memory_service_s)``
+            for a miss the caller must run through its FIFO.
+        """
+        self.requests_served += 1
+        hit = self.cache.access(file_id, size_bytes)
+        if hit:
+            return ("done", arrival_time + self.memory_service_s)
+        self.disk_requests += 1
+        service = self.disk.sample_service_time(size_bytes, self._rng)
+        if self.noise_probability > 0 and self._rng.random() < self.noise_probability:
+            service *= 1.0 + self._rng.exponential(self.noise_multiplier_mean)
+        return ("service", service, self.memory_service_s)
+
     def expected_miss_service_time(self, mean_file_bytes: float) -> float:
         """Expected disk service time for a miss of the given mean size.
 

@@ -1,0 +1,189 @@
+"""Event-driven hedged dispatch with cancel-on-win across FIFO servers.
+
+:func:`simulate_hedged_arrivals` (the substrates' default hedged engine)
+exploits the FIFO property that a copy's completion time is known the moment
+it is dispatched.  Cancellation breaks that property *retroactively*: pulling
+a queued copy out of a server shifts the start of everything queued behind
+it.  This module provides the general engine for that case — a global event
+loop over per-server cancellable queues:
+
+* events are processed in ``(time, kind, seq)`` order with a fixed kind
+  priority (disk completion < win < backup launch < arrival), so runs are
+  deterministic for a given seed;
+* a copy *in service* always runs to completion, matching
+  ``sim.resources.Server.cancel`` and the paper's observation that
+  cancellation saves queueing, not work already under way;
+* when the first copy of a request completes ("win"), its still-**queued**
+  sibling copies are removed from their servers' queues (if the policy says
+  cancel-on-win), giving the capacity back to later arrivals;
+* backups are suppressed exactly as in the default engine: a backup whose
+  request has already completed never launches;
+* adaptive-policy feedback goes through :class:`PolicyDriver`, released once
+  a request's plan is fully resolved — the same contract the default engine
+  honours, so ``hedge:p95`` works identically under both.
+
+Substrates plug in via two callbacks: ``server_of(request, copy)`` names the
+FIFO station a copy queues at, and ``begin(request, copy, at)`` performs the
+dispatch-time work (cache access, service-time draw — in event order, like
+the default engine) and returns either ``("done", finish_time)`` for work
+that bypasses the queue (a cache hit served from memory) or
+``("service", service_s, tail_s)`` for a queued job whose completion is
+``entry_into_service + service_s + tail_s`` (``tail_s`` being queue-free
+post-processing such as the memory copy after a disk read).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.policy import PolicyDriver, ReplicationPolicy
+
+__all__ = ["simulate_cancelling_arrivals"]
+
+#: Event kind priorities at equal timestamps.
+_POP, _WIN, _BACKUP, _ARRIVAL = 0, 1, 2, 3
+
+#: Queue-entry states.
+_QUEUED, _IN_SERVICE, _CANCELLED = 0, 1, 2
+
+BeginResult = Union[Tuple[str, float], Tuple[str, float, float]]
+
+
+class _Server:
+    """One FIFO station: the in-service job plus a cancellable queue."""
+
+    __slots__ = ("busy", "queue")
+
+    def __init__(self) -> None:
+        self.busy = False
+        self.queue: deque = deque()
+
+
+def simulate_cancelling_arrivals(
+    policy: ReplicationPolicy,
+    arrival_times,
+    max_copies: int,
+    server_of: Callable[[int, int], int],
+    begin: Callable[[int, int, float], BeginResult],
+):
+    """Drive FIFO servers through ``policy`` with cancel-on-win honoured.
+
+    Args:
+        policy: The replication policy (shared state across requests).
+        arrival_times: 1-D array of request arrival times, non-decreasing.
+        max_copies: Cap on copies per request; plans are truncated to it.
+        server_of: ``server_of(request, copy) -> station id`` for the queue
+            the copy joins.
+        begin: Dispatch-time callback; see the module docstring.
+
+    Returns:
+        ``(finish_at, copies_launched, copies_cancelled)`` per-request
+        arrays: earliest absolute completion, dispatched copies, and copies
+        cancelled while still queued.
+    """
+    num_requests = len(arrival_times)
+    driver = PolicyDriver(policy)
+    finish_at = np.full(num_requests, np.inf)
+    launched = np.zeros(num_requests, dtype=np.int64)
+    cancelled = np.zeros(num_requests, dtype=np.int64)
+    outstanding = np.zeros(num_requests, dtype=np.int64)
+    won = np.zeros(num_requests, dtype=bool)
+    fed_back = np.zeros(num_requests, dtype=bool)
+    queued_entries: Dict[int, List[list]] = {}
+    servers: Dict[int, _Server] = {}
+    heap: List[tuple] = []
+    seq = 0
+
+    def push(at: float, kind: int, payload: tuple) -> None:
+        nonlocal seq
+        heapq.heappush(heap, (at, kind, seq, payload))
+        seq += 1
+
+    def feedback(request: int) -> None:
+        # Release adaptive feedback once the plan is fully resolved: the
+        # request completed and no backup decision is still pending —
+        # mirroring the default engine's contract.
+        if fed_back[request] or outstanding[request] != 0:
+            return
+        if not np.isfinite(finish_at[request]):
+            return
+        fed_back[request] = True
+        driver.complete(
+            float(finish_at[request]),
+            float(finish_at[request] - arrival_times[request]),
+        )
+
+    def complete(request: int, at: float) -> None:
+        if at < finish_at[request]:
+            finish_at[request] = at
+            push(at, _WIN, (request,))
+
+    def enter_service(station: _Server, entry: list, at: float) -> None:
+        request, _copy, service, tail = entry[0], entry[1], entry[2], entry[3]
+        entry[4] = _IN_SERVICE
+        station.busy = True
+        finish = at + service
+        complete(request, finish + tail)
+        push(finish, _POP, (id(station), station))
+
+    def dispatch(request: int, copy: int, at: float) -> None:
+        launched[request] += 1
+        result = begin(request, copy, at)
+        if result[0] == "done":
+            complete(request, result[1])
+            return
+        _kind, service, tail = result
+        station = servers.setdefault(server_of(request, copy), _Server())
+        entry = [request, copy, service, tail, _QUEUED]
+        if station.busy:
+            station.queue.append(entry)
+            queued_entries.setdefault(request, []).append(entry)
+        else:
+            enter_service(station, entry, at)
+
+    for request in range(num_requests):
+        push(float(arrival_times[request]), _ARRIVAL, (request,))
+
+    while heap:
+        at, kind, _seq, payload = heapq.heappop(heap)
+        if kind == _ARRIVAL:
+            (request,) = payload
+            plan = driver.plan_for(at)
+            delays = plan.launch_delays[:max_copies]
+            dispatch(request, 0, at)
+            for copy, delay in enumerate(delays[1:], start=1):
+                push(at + delay, _BACKUP, (request, copy))
+                outstanding[request] += 1
+            feedback(request)
+        elif kind == _BACKUP:
+            request, copy = payload
+            outstanding[request] -= 1
+            if finish_at[request] > at:  # still pending: the hedge fires
+                dispatch(request, copy, at)
+            feedback(request)
+        elif kind == _WIN:
+            (request,) = payload
+            if won[request] or finish_at[request] != at:
+                continue  # a faster copy already claimed the win
+            won[request] = True
+            if policy.cancel_on_win:
+                for entry in queued_entries.pop(request, ()):
+                    if entry[4] == _QUEUED:
+                        entry[4] = _CANCELLED
+                        cancelled[request] += 1
+            feedback(request)
+        else:  # _POP: a station finished its in-service job
+            _sid, station = payload
+            station.busy = False
+            queue = station.queue
+            while queue:
+                entry = queue.popleft()
+                if entry[4] == _QUEUED:
+                    enter_service(station, entry, at)
+                    break
+
+    return finish_at, launched, cancelled

@@ -71,6 +71,15 @@ ALLOWLIST: Tuple[Tuple[str, str, str], ...] = (
         "the asyncio client measures real request latency by design; "
         "HedgedResult.elapsed never enters a canonical artifact",
     ),
+    (
+        "repro/serve/clock.py",
+        "RealClock",
+        "the Clock seam's real implementation: the ONLY wall-clock surface "
+        "of the live serving loop.  Everything in repro.serve reads time "
+        "through an injected Clock, so canonical (virtual-clock) runs never "
+        "reach this site; RealClock reports are marked clock=real and are "
+        "not canonical artifacts",
+    ),
 )
 
 

@@ -1,0 +1,104 @@
+"""Run reports for the serving layer: latency table + cost counters.
+
+A :class:`RunReport` is the single output surface of ``repro.serve run``.
+Under a :class:`~repro.serve.clock.VirtualClock` it is a *canonical*
+artifact — seeded, clock-free, byte-reproducible — so :meth:`to_json`
+serialises with sorted keys and fixed float formatting, exactly like the
+experiment artifacts (the CI smoke ``cmp``'s two invocations).  Under a
+:class:`~repro.serve.clock.RealClock` the same structure carries measured
+wall-latency and is *not* canonical (the report says so via ``clock``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Dict, List, Optional, Union
+
+from repro.analysis.stats import LatencySummary
+
+__all__ = ["RunReport"]
+
+#: Artifact schema identifier (bump on incompatible change).
+SCHEMA = "serve-report/1"
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Everything one ``repro.serve`` run produced.
+
+    Attributes:
+        clock: ``"virtual"`` or ``"real"`` — whether the numbers are
+            simulated (canonical) or measured.
+        policy: Canonical spec of the policy the run *started* with.
+        swaps: Any mid-run hot-swaps, as ``{"at": t, "policy": spec}``.
+        rate: Offered open-loop arrival rate (requests/second).
+        duration_s: Span from first arrival to last completion (clock units).
+        seed: The run seed.
+        backends: Pool size.
+        summary: Latency summary (p50/p90/p95/p99/p99.9 etc.).
+        counters: Cost counters from the proxy (duplicate-rate, wasted work).
+        per_backend_completions: Completed copies per backend, in ring order.
+    """
+
+    clock: str
+    policy: str
+    swaps: List[Dict[str, Union[float, str]]]
+    rate: float
+    duration_s: float
+    seed: int
+    backends: int
+    summary: LatencySummary
+    counters: Dict[str, Number]
+    per_backend_completions: List[int]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "clock": self.clock,
+            "policy": self.policy,
+            "swaps": self.swaps,
+            "rate": self.rate,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "backends": self.backends,
+            "latency": dataclasses.asdict(self.summary),
+            "counters": dict(self.counters),
+            "per_backend_completions": list(self.per_backend_completions),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, newline-terminated."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    def table(self, throughput: Optional[float] = None) -> str:
+        """Human-readable latency/cost table for the terminal."""
+        s = self.summary
+        counters = self.counters
+        scale, unit = (1e3, "ms") if s.p99 < 1.0 else (1.0, "s")
+        lines = [
+            f"policy {self.policy}  clock {self.clock}  "
+            f"backends {self.backends}  rate {self.rate:g}/s  seed {self.seed}",
+            f"{'requests':>12}  {'p50':>9}  {'p95':>9}  {'p99':>9}  "
+            f"{'dup-rate':>9}  {'wasted':>9}",
+            f"{counters['requests']:>12}  "
+            f"{s.p50 * scale:>8.3f}{unit[0]}  "
+            f"{s.p95 * scale:>8.3f}{unit[0]}  "
+            f"{s.p99 * scale:>8.3f}{unit[0]}  "
+            f"{counters['duplicate_rate']:>8.1%}  "
+            f"{counters['wasted_service_s']:>8.3f}s",
+        ]
+        for swap in self.swaps:
+            lines.append(f"  swap @ {swap['at']:g}s -> {swap['policy']}")
+        extras = [
+            f"hedges fired {counters['hedges_fired']}",
+            f"suppressed {counters['hedges_suppressed']}",
+            f"cancelled {counters['copies_cancelled']}",
+            f"failed copies {counters['failed_copies']}",
+        ]
+        lines.append("  " + "  ".join(extras))
+        if throughput is not None:
+            lines.append(f"  measured throughput {throughput:,.0f} req/s")
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Tests for cancel-on-win in the cluster substrates.
+
+The event-driven cancellation engine (``repro.core.cancellation``) lets the
+database and memcached experiments honour ``hedge:<delay>`` plans with
+``cancel_on_win`` — a losing copy still *queued* when another copy answers is
+withdrawn and never consumes service.  These tests pin:
+
+* determinism of the cancelling path;
+* that ``copies_cancelled`` is reported exactly when the engine ran;
+* that cancellation only ever helps (the winner's finish is unchanged, and
+  withdrawn copies free capacity for later requests);
+* that the pre-existing nocancel and eager paths are untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.database import DatabaseClusterConfig, DatabaseClusterExperiment
+from repro.cluster.memcached import MemcachedExperiment
+from repro.core.policy import parse_policy
+
+SMALL = dict(num_files=20_000)
+
+
+def database_experiment():
+    return DatabaseClusterExperiment(DatabaseClusterConfig.base(**SMALL))
+
+
+class TestMemcachedCancellation:
+    def test_cancel_path_is_deterministic(self):
+        runs = [
+            MemcachedExperiment().run(
+                0.5, None, False, num_requests=4000, policy=parse_policy("hedge:400us")
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].response_times, runs[1].response_times)
+        assert runs[0].copies_cancelled == runs[1].copies_cancelled
+
+    def test_copies_cancelled_reported_only_when_engine_ran(self):
+        mc = MemcachedExperiment()
+        cancel = mc.run(
+            0.5, None, False, num_requests=4000, policy=parse_policy("hedge:400us")
+        )
+        assert cancel.copies_cancelled is not None
+        assert cancel.copies_cancelled > 0
+        nocancel = mc.run(
+            0.5,
+            None,
+            False,
+            num_requests=4000,
+            policy=parse_policy("hedge:400us:nocancel"),
+        )
+        assert nocancel.copies_cancelled is None
+        eager = mc.run(0.3, 2, False, num_requests=4000)
+        assert eager.copies_cancelled is None
+
+    def test_cancellation_never_hurts_and_helps_under_load(self):
+        """Cancelling a queued loser cannot delay any winner, and at
+        moderate load the reclaimed capacity lowers the mean."""
+        mc = MemcachedExperiment()
+        cancel = mc.run(
+            0.5, None, False, num_requests=6000, policy=parse_policy("hedge:400us")
+        )
+        nocancel = mc.run(
+            0.5,
+            None,
+            False,
+            num_requests=6000,
+            policy=parse_policy("hedge:400us:nocancel"),
+        )
+        assert cancel.mean <= nocancel.mean
+        # Faster first answers also suppress more backups outright.
+        assert cancel.copies_launched <= nocancel.copies_launched
+
+    def test_stub_build_ignores_cancellation(self):
+        # The stub path never queues, so there is nothing to cancel.
+        result = MemcachedExperiment().run(
+            0.3, None, True, num_requests=2000, policy=parse_policy("hedge:400us")
+        )
+        assert result.copies_cancelled is None
+
+
+class TestDatabaseCancellation:
+    def test_cancel_path_is_deterministic(self):
+        runs = [
+            database_experiment().run(
+                0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms")
+            )
+            for _ in range(2)
+        ]
+        assert np.array_equal(runs[0].response_times, runs[1].response_times)
+        assert runs[0].copies_cancelled == runs[1].copies_cancelled
+        assert runs[0].cache_hit_ratio == runs[1].cache_hit_ratio
+
+    def test_copies_cancelled_reported_only_when_engine_ran(self):
+        cancel = database_experiment().run(
+            0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms")
+        )
+        assert cancel.copies_cancelled is not None
+        assert cancel.copies_cancelled > 0
+        nocancel = database_experiment().run(
+            0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms:nocancel")
+        )
+        assert nocancel.copies_cancelled is None
+        eager = database_experiment().run(0.3, 2, num_requests=4000)
+        assert eager.copies_cancelled is None
+
+    def test_cancellation_improves_the_mean_under_load(self):
+        cancel = database_experiment().run(
+            0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms")
+        )
+        nocancel = database_experiment().run(
+            0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms:nocancel")
+        )
+        assert cancel.mean < nocancel.mean
+
+    def test_cancelled_copies_not_billed_client_overhead(self):
+        """A cancelled copy returns no response, so it must not be charged
+        the per-extra-response client overhead: launched - cancelled - 1
+        extras, never launched - 1."""
+        result = database_experiment().run(
+            0.3, None, num_requests=4000, policy=parse_policy("hedge:2ms")
+        )
+        assert result.copies_launched is not None
+        assert 0 < result.copies_cancelled < result.copies_launched

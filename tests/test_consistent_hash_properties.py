@@ -1,0 +1,111 @@
+"""Property tests for the consistent-hash ring invariants.
+
+These three invariants — balance within the documented bounds, ~1/n key
+movement on pool growth, and distinct ring successors — are what the live
+serving layer (``repro.serve``) and the cluster substrates assume when they
+place k copies of a request.  The bounds asserted here are the ones
+documented on :class:`ConsistentHashRing`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.consistent_hash import ConsistentHashRing
+
+# Keep hypothesis runtimes modest: these are invariant checks, not fuzzing.
+DEFAULT_SETTINGS = settings(max_examples=30, deadline=None)
+
+#: One large keyspace shared by every example (hashing it is the slow part).
+KEYS = np.arange(8_000)
+
+
+# ---------------------------------------------------------------------------
+# Balance
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "virtual_nodes,bound",
+    [(64, 0.5), (128, 0.35), (256, 0.25)],
+)
+@pytest.mark.parametrize("num_servers", [2, 4, 8, 16, 32])
+def test_balance_within_documented_bounds(num_servers, virtual_nodes, bound):
+    """Every server's primary share stays within the documented deviation
+    of the fair share 1/n, tightening as virtual nodes grow."""
+    ring = ConsistentHashRing(num_servers, virtual_nodes=virtual_nodes)
+    counts = np.bincount(ring.primary_for_many(KEYS), minlength=num_servers)
+    fair = len(KEYS) / num_servers
+    deviation = np.abs(counts - fair).max() / fair
+    assert deviation <= bound, (
+        f"n={num_servers} vnodes={virtual_nodes}: worst relative deviation "
+        f"{deviation:.3f} exceeds documented bound {bound}"
+    )
+    # Balance also implies no server is starved entirely.
+    assert counts.min() > 0
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_servers=st.integers(min_value=2, max_value=24),
+    virtual_nodes=st.integers(min_value=64, max_value=256),
+)
+def test_balance_holds_across_arbitrary_configs(num_servers, virtual_nodes):
+    ring = ConsistentHashRing(num_servers, virtual_nodes=virtual_nodes)
+    counts = np.bincount(ring.primary_for_many(KEYS), minlength=num_servers)
+    fair = len(KEYS) / num_servers
+    assert np.abs(counts - fair).max() / fair <= 0.5
+
+
+# ---------------------------------------------------------------------------
+# Minimal key movement on pool growth
+# ---------------------------------------------------------------------------
+
+@DEFAULT_SETTINGS
+@given(num_servers=st.integers(min_value=2, max_value=24))
+def test_growth_moves_about_one_over_n_keys(num_servers):
+    """Growing n -> n+1 servers remaps ~1/(n+1) of keys, and every remapped
+    key moves *to the new server* — existing servers' ring points are
+    identical in both rings, so nothing else can change hands."""
+    before = ConsistentHashRing(num_servers, virtual_nodes=64).primary_for_many(KEYS)
+    after = ConsistentHashRing(num_servers + 1, virtual_nodes=64).primary_for_many(KEYS)
+    moved = before != after
+    fraction = float(moved.mean())
+    ideal = 1.0 / (num_servers + 1)
+    # Within a factor of two of ideal, plus absolute slack for small samples.
+    assert fraction <= 2.0 * ideal + 0.02, (
+        f"n={num_servers}: moved {fraction:.4f}, ideal {ideal:.4f}"
+    )
+    assert fraction >= 0.5 * ideal - 0.02
+    # Moved keys land only on the newly added server.
+    assert set(np.unique(after[moved])) <= {num_servers}
+
+
+# ---------------------------------------------------------------------------
+# Successor distinctness (what k-copies dispatch relies on)
+# ---------------------------------------------------------------------------
+
+@DEFAULT_SETTINGS
+@given(
+    num_servers=st.integers(min_value=1, max_value=32),
+    key=st.integers(min_value=0, max_value=2**63),
+    data=st.data(),
+)
+def test_replicas_distinct_and_successor_shaped(num_servers, key, data):
+    copies = data.draw(st.integers(min_value=1, max_value=num_servers))
+    ring = ConsistentHashRing(num_servers, virtual_nodes=16)
+    replicas = ring.replicas_for(key, copies)
+    assert len(replicas) == copies
+    assert len(set(replicas)) == copies, "k-copies dispatch needs distinct backends"
+    assert all(0 <= server < num_servers for server in replicas)
+    # The paper's rule: secondary of server n is server n+1 (mod pool size).
+    primary = ring.primary_for(key)
+    assert replicas == [(primary + offset) % num_servers for offset in range(copies)]
+
+
+@DEFAULT_SETTINGS
+@given(keys=st.lists(st.integers(min_value=0, max_value=2**63), min_size=1, max_size=50))
+def test_primary_for_many_matches_scalar(keys):
+    ring = ConsistentHashRing(8, virtual_nodes=32)
+    vectorised = ring.primary_for_many(keys)
+    assert list(vectorised) == [ring.primary_for(key) for key in keys]

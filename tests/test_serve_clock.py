@@ -1,0 +1,115 @@
+"""Unit tests for the ``repro.serve`` clock seam.
+
+The whole deterministic serving harness rests on :class:`VirtualClock`
+being *exact*: sleeps and timers complete at precisely their virtual
+timestamps, in timer order, with no real waiting.  These tests pin that
+contract, plus the deadlock guard that turns a hung virtual run into an
+immediate error.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.clock import Clock, RealClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_sleep_advances_exact_virtual_time(self):
+        clock = VirtualClock()
+
+        async def main():
+            await clock.sleep(10.0)
+            first = clock.now()
+            await clock.sleep(6.25)
+            return first, clock.now()
+
+        wall_before = time.monotonic()
+        first, second = clock.run(main())
+        wall_elapsed = time.monotonic() - wall_before
+        assert first == pytest.approx(10.0)
+        assert second == pytest.approx(16.25)
+        # A 16-second virtual run must not take 16 real seconds.
+        assert wall_elapsed < 2.0
+
+    def test_start_offset(self):
+        clock = VirtualClock(start=100.0)
+
+        async def main():
+            await clock.sleep(1.0)
+            return clock.now()
+
+        assert clock.run(main()) == pytest.approx(101.0)
+
+    def test_timers_fire_in_timestamp_order(self):
+        clock = VirtualClock()
+        fired = []
+
+        async def stamp(delay, label):
+            await clock.sleep(delay)
+            fired.append((label, clock.now()))
+
+        async def main():
+            await asyncio.gather(
+                stamp(0.3, "c"), stamp(0.1, "a"), stamp(0.2, "b")
+            )
+
+        clock.run(main())
+        assert fired == [
+            ("a", pytest.approx(0.1)),
+            ("b", pytest.approx(0.2)),
+            ("c", pytest.approx(0.3)),
+        ]
+
+    def test_wait_for_times_out_at_exact_virtual_instant(self):
+        clock = VirtualClock()
+
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(clock.sleep(60.0), timeout=2.5)
+            return clock.now()
+
+        assert clock.run(main()) == pytest.approx(2.5)
+
+    def test_deadlock_raises_instead_of_hanging(self):
+        clock = VirtualClock()
+
+        async def main():
+            # Nobody will ever set this future and no timer is pending, so
+            # the loop would select(None) forever on a real clock.
+            await asyncio.get_event_loop().create_future()
+
+        with pytest.raises(RuntimeError, match="virtual-time deadlock"):
+            clock.run(main())
+
+    def test_loop_time_is_virtual(self):
+        clock = VirtualClock()
+
+        async def main():
+            loop = asyncio.get_event_loop()
+            await clock.sleep(3.0)
+            return loop.time()
+
+        assert clock.run(main()) == pytest.approx(3.0)
+
+    def test_name(self):
+        assert VirtualClock().name == "virtual"
+
+
+class TestRealClock:
+    def test_is_a_clock_named_real(self):
+        clock = RealClock()
+        assert isinstance(clock, Clock)
+        assert clock.name == "real"
+
+    def test_now_is_monotonic_and_sleep_waits(self):
+        clock = RealClock()
+
+        async def main():
+            before = clock.now()
+            await clock.sleep(0.01)
+            return clock.now() - before
+
+        elapsed = asyncio.run(main())
+        assert elapsed >= 0.009
