@@ -35,8 +35,8 @@ class ConsistentHashRing:
     * **Balance.** Over a large keyspace, every server's share of primaries
       stays within a factor of the fair share ``1/n`` that shrinks as
       virtual nodes grow: empirically the relative deviation is at most
-      ~0.5 at 64 virtual nodes (the default) and at most ~0.25 at 256,
-      for pool sizes up to 32.
+      ~0.6 at 64 virtual nodes (the default), ~0.35 at 128 and ~0.3 at
+      256, for pool sizes up to 32.
     * **Minimal movement.** Growing the pool from ``n`` to ``n + 1``
       servers remaps approximately ``1/(n + 1)`` of the keyspace — and
       nothing else — because ring points are named by ``(server, vnode)``

@@ -88,7 +88,10 @@ async def run_load(
     """Drive ``proxy`` with open-loop Poisson traffic; return the report."""
     offsets, keys = _draw_traffic(config)
     initial_policy = proxy.policy_spec
-    proxy.prepare_keyspace(config.keyspace, min(len(proxy.backends), 8))
+    # Full-width table: a plan never uses more copies than there are
+    # backends, so this keeps every policy (including k>8 and hot-swaps)
+    # on the vectorised fast path.  int64 keyspace x backends is small.
+    proxy.prepare_keyspace(config.keyspace, len(proxy.backends))
     start = clock.now()
     swap_queue: List[Tuple[float, str]] = sorted(
         (float(at), spec) for at, spec in config.swaps

@@ -223,6 +223,11 @@ class RedundancyProxy:
             return False
         count = len(keys)
         copies = min(plan.copies, len(self.backends))
+        if copies > self._table_copies:
+            # A narrower table than the plan would leave the tail columns of
+            # the finish/service arrays unfilled — fall back to scalar
+            # dispatch, which recomputes replicas off-table.
+            return False
         replicas = self._replica_table[keys, :copies]
         finishes = np.empty((count, copies))
         services = np.empty((count, copies))
@@ -291,11 +296,15 @@ class RedundancyProxy:
             winner_latency: Optional[float] = None
             winner_service = 0.0
             pending = set(tasks)
+            launch_index = {task: position for position, task in enumerate(tasks)}
             while pending and winner_latency is None:
                 done, pending = await asyncio.wait(
                     pending, return_when=asyncio.FIRST_COMPLETED
                 )
-                for task in done:
+                # ``done`` is an unordered set; on a (virtual-time) tie the
+                # winner must not depend on set iteration order, so visit
+                # copies in launch order — the byte-reproducibility contract.
+                for task in sorted(done, key=launch_index.__getitem__):
                     if task.cancelled() or task.exception() is not None:
                         continue
                     if task.result() is not None:

@@ -78,15 +78,16 @@ class RunReport:
         s = self.summary
         counters = self.counters
         scale, unit = (1e3, "ms") if s.p99 < 1.0 else (1.0, "s")
+        width = 8 + len(unit)
         lines = [
             f"policy {self.policy}  clock {self.clock}  "
             f"backends {self.backends}  rate {self.rate:g}/s  seed {self.seed}",
-            f"{'requests':>12}  {'p50':>9}  {'p95':>9}  {'p99':>9}  "
-            f"{'dup-rate':>9}  {'wasted':>9}",
+            f"{'requests':>12}  {'p50':>{width}}  {'p95':>{width}}  "
+            f"{'p99':>{width}}  {'dup-rate':>9}  {'wasted':>9}",
             f"{counters['requests']:>12}  "
-            f"{s.p50 * scale:>8.3f}{unit[0]}  "
-            f"{s.p95 * scale:>8.3f}{unit[0]}  "
-            f"{s.p99 * scale:>8.3f}{unit[0]}  "
+            f"{s.p50 * scale:>8.3f}{unit}  "
+            f"{s.p95 * scale:>8.3f}{unit}  "
+            f"{s.p99 * scale:>8.3f}{unit}  "
             f"{counters['duplicate_rate']:>8.1%}  "
             f"{counters['wasted_service_s']:>8.3f}s",
         ]

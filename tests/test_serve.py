@@ -8,6 +8,7 @@ executes on a :class:`VirtualClock`, so runs are seeded and byte-reproducible
 import dataclasses
 import json
 
+import numpy as np
 import pytest
 
 from repro.core.policy import HedgeOnPercentile, parse_policy
@@ -249,6 +250,39 @@ class TestFastPathEquivalence:
             ), field
         for key, value in exact.counters.items():
             assert batched.counters[key] == pytest.approx(value, rel=1e-12), key
+
+    def test_submit_batch_refuses_narrow_replica_table(self):
+        """A replica table narrower than the plan's copies must refuse the
+        batch (regression: it used to slice past the table and leave the
+        finish/service tail columns uninitialized)."""
+        clock, proxy = make_stack("k4", backends=6)
+        proxy.prepare_keyspace(100, 2)
+        keys = np.arange(4)
+        arrivals = np.linspace(0.0, 0.003, 4)
+        assert proxy.submit_batch(keys, arrivals) is False
+        assert proxy.requests == 0  # nothing was reserved
+        # The scalar path still serves the same plan via the ring fallback.
+        assert proxy.submit_nowait(0) is True
+        assert proxy.copies_launched == 4
+
+    def test_wide_policy_batched_and_scalar_agree(self):
+        """k10 on 12 backends — wider than the old 8-column table cap —
+        stays on the batch path and matches scalar dispatch exactly."""
+
+        def run_with_resolution(resolution):
+            clock, proxy = make_stack("k10", backends=12, seed=5)
+            config = LoadGenConfig(
+                rate=2000.0, num_requests=600, seed=5, resolution=resolution
+            )
+            return clock.run(run_load(proxy, clock, config))
+
+        exact = run_with_resolution(0.0)
+        batched = run_with_resolution(10.0)
+        assert exact.counters["duplicate_rate"] == 9.0
+        for field, value in dataclasses.asdict(exact.summary).items():
+            assert dataclasses.asdict(batched.summary)[field] == pytest.approx(
+                value, rel=1e-12
+            ), field
 
     def test_race_path_refused_for_sim_eager_plans(self):
         clock, proxy = make_stack("k2")
