@@ -57,6 +57,7 @@ SMOKE_OVERRIDES: Dict[str, Dict[str, object]] = {
     "fattree": {"k": 4, "num_flows": 40},
     "dns": {"num_vantage_points": 2, "stage1_queries": 20, "stage2_queries": 40},
     "handshake": {"num_samples": 2_000},
+    "pipeline": {"num_jobs": 8},
 }
 
 

@@ -37,12 +37,43 @@ sys.path.insert(
 )
 
 from repro.analysis.tables import ResultTable  # noqa: E402
+from repro.core.policy import HedgeAfterDelay, parse_policy  # noqa: E402
 from repro.exceptions import ReproError  # noqa: E402
 from repro.experiments.cli import _axis_value  # noqa: E402
 from repro.experiments.results import PointResult, SweepResult, load_sweep_artifact  # noqa: E402
 
 #: Axes (in preference order) that serve as the x-axis of the frontier.
 X_AXES = ("load", "rtt", "copies")
+
+
+def hedge_delay_of(spec: str) -> Optional[float]:
+    """The delay (seconds) of a fixed-delay hedge spec, else None.
+
+    Only exact :class:`HedgeAfterDelay` policies qualify (``hedge:250ms``,
+    ``hedge:50ms:x2``); percentile hedges adapt their delay and eager/none
+    policies have none, so neither belongs to a delay-grid family.
+    """
+    try:
+        policy = parse_policy(spec)
+    except ReproError:
+        return None
+    if type(policy) is HedgeAfterDelay:
+        return policy.delay
+    return None
+
+
+def hedge_family(spec: str) -> Optional[str]:
+    """The delay-grid family of a fixed-delay hedge spec (delay wildcarded).
+
+    ``hedge:250ms`` and ``hedge:1s`` share family ``hedge:*``;
+    ``hedge:50ms:x2`` belongs to ``hedge:*:x2``.  Returns None for specs
+    outside any delay grid.
+    """
+    if hedge_delay_of(spec) is None:
+        return None
+    segments = spec.split(":")
+    segments[1] = "*"
+    return ":".join(segments)
 
 
 def pick_x_axis(result: SweepResult, requested: Optional[str]) -> Optional[str]:
@@ -102,7 +133,12 @@ def frontier_rows(
     return rows
 
 
-def report(result: SweepResult, x_axis: Optional[str], metrics: List[str]) -> None:
+def report(
+    result: SweepResult,
+    x_axis: Optional[str],
+    metrics: List[str],
+    group_hedges: bool = False,
+) -> None:
     """Print the full ablation table (frontier starred) plus summary lines."""
     primary = metrics[0]
     x_label = x_axis or "sweep"
@@ -139,6 +175,86 @@ def report(result: SweepResult, x_axis: Optional[str], metrics: List[str]) -> No
             f"  frontier@{x_label}={x}: {policy_of(best)} "
             f"({primary}={best_value:.4g}{delta})"
         )
+    if group_hedges:
+        for x, points, _best in rows:
+            families: Dict[str, List[Tuple[float, float, str]]] = {}
+            for point in points:
+                spec = policy_of(point)
+                family = hedge_family(spec)
+                value = metric_of(point, primary)
+                if family is None or value is None:
+                    continue
+                families.setdefault(family, []).append(
+                    (hedge_delay_of(spec), value, spec)
+                )
+            for family in sorted(families):
+                entries = sorted(families[family])
+                if len(entries) < 2:
+                    continue  # one delay is a point, not a grid
+                _delay, best_value, best_spec = min(
+                    entries, key=lambda entry: entry[1]
+                )
+                swept = ", ".join(spec.split(":")[1] for _d, _v, spec in entries)
+                print(
+                    f"  hedge-grid@{x_label}={x}: {family} best={best_spec} "
+                    f"({primary}={best_value:.4g}; delays swept: {swept})"
+                )
+    print()
+
+
+def pareto_points(
+    result: SweepResult, x_metric: str, y_metric: str
+) -> List[Tuple[float, float, str, bool]]:
+    """``(x, y, label, efficient)`` per ok point of a cost-vs-latency view.
+
+    A point is Pareto-efficient when no other point is at least as good on
+    both metrics and strictly better on one (both minimised) — e.g. job
+    completion time (``y``) vs wasted-work fraction (``x``) for the pipeline
+    scenarios.
+    """
+    gathered: List[Tuple[float, float, str]] = []
+    for point in result.ok_points():
+        x = metric_of(point, x_metric)
+        y = metric_of(point, y_metric)
+        if x is None or y is None:
+            continue
+        extras = {
+            key: value for key, value in sorted(point.params.items())
+            if key in result.axes and key != "policy"
+        }
+        label = policy_of(point)
+        if extras:
+            label += " [" + ", ".join(f"{k}={v}" for k, v in extras.items()) + "]"
+        gathered.append((x, y, label))
+    out = []
+    for x, y, label in gathered:
+        dominated = any(
+            (ox <= x and oy <= y) and (ox < x or oy < y)
+            for ox, oy, _ in gathered
+        )
+        out.append((x, y, label, not dominated))
+    return out
+
+
+def pareto_report(result: SweepResult, x_metric: str, y_metric: str) -> None:
+    """Print the cost-vs-latency table with the Pareto-efficient set starred."""
+    points = sorted(pareto_points(result, x_metric, y_metric))
+    table = ResultTable(
+        [x_metric, y_metric, "point", "pareto"],
+        title=f"{result.scenario}: {y_metric} vs {x_metric} Pareto view "
+              f"({sum(1 for p in points if p[3])} efficient of {len(points)})",
+    )
+    for x, y, label, efficient in points:
+        table.add_row(**{
+            x_metric: x,
+            y_metric: y,
+            "point": label,
+            "pareto": "*" if efficient else "",
+        })
+    print(table.to_text())
+    for x, y, label, efficient in points:
+        if efficient:
+            print(f"  pareto: {label} ({x_metric}={x:.4g}, {y_metric}={y:.4g})")
     print()
 
 
@@ -147,8 +263,16 @@ def render_png(
     x_arg: Optional[str],
     metric: str,
     path: str,
+    group_hedges: bool = False,
+    pareto: Optional[str] = None,
 ) -> None:
-    """Render one latency-vs-load panel per artifact with matplotlib."""
+    """Render one panel per artifact with matplotlib.
+
+    The default view is the metric-vs-load line chart (one line per policy;
+    ``group_hedges`` collapses each fixed-delay hedge family into its
+    per-x best).  With ``pareto`` set, panels become cost-vs-latency
+    scatters with the efficient set connected.
+    """
     try:
         import matplotlib
         matplotlib.use("Agg")
@@ -162,6 +286,23 @@ def render_png(
         1, len(loaded), figsize=(5.5 * len(loaded), 4.0), squeeze=False
     )
     for axis, (_path, result) in zip(axes_list[0], loaded):
+        if pareto:
+            points = pareto_points(result, pareto, metric)
+            axis.scatter([x for x, _y, _l, _e in points],
+                         [y for _x, y, _l, _e in points], s=14)
+            front = sorted((x, y) for x, y, _l, efficient in points if efficient)
+            if front:
+                axis.plot([x for x, _ in front], [y for _, y in front],
+                          marker="*", color="tab:red", label="pareto front")
+            for x, y, label, efficient in points:
+                if efficient:
+                    axis.annotate(label, (x, y), fontsize=6,
+                                  textcoords="offset points", xytext=(3, 3))
+            axis.set_xlabel(pareto)
+            axis.set_ylabel(metric)
+            axis.set_title(result.scenario, fontsize=9)
+            axis.legend(fontsize=7)
+            continue
         x_axis = pick_x_axis(result, x_arg)
         series: Dict[str, List[Tuple[Any, float]]] = {}
         for point in result.ok_points():
@@ -169,9 +310,19 @@ def render_png(
             if value is None:
                 continue
             x = point.params.get(x_axis) if x_axis else 0
-            series.setdefault(policy_of(point), []).append((x, value))
+            spec = policy_of(point)
+            family = hedge_family(spec) if group_hedges else None
+            series.setdefault(family or spec, []).append((x, value))
         for policy, points in series.items():
-            points.sort()
+            if "*" in policy:
+                # One frontier line per delay-grid family: its per-x best.
+                best: Dict[Any, float] = {}
+                for x, value in points:
+                    if x not in best or value < best[x]:
+                        best[x] = value
+                points = sorted(best.items())
+            else:
+                points.sort()
             axis.plot([x for x, _ in points], [v for _, v in points],
                       marker="o", label=policy)
         axis.set_title(result.scenario, fontsize=9)
@@ -208,6 +359,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--png", default=None, metavar="PATH",
                         help="also render a PNG (requires matplotlib)")
+    parser.add_argument(
+        "--group-hedges", action="store_true",
+        help=(
+            "collapse fixed-delay hedge families (hedge:100ms, hedge:250ms, "
+            "...) into one frontier line: the best delay per x"
+        ),
+    )
+    parser.add_argument(
+        "--pareto", default=None, metavar="METRIC",
+        help=(
+            "trade-off view: plot --metric against this cost metric (e.g. "
+            "wasted_work_fraction or cost_normalized) and star the "
+            "non-dominated points instead of the per-x frontier tables"
+        ),
+    )
     args = parser.parse_args(argv)
 
     loaded = []
@@ -216,11 +382,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             loaded.append((path, load_sweep_artifact(path)))
         except (ReproError, OSError, ValueError) as exc:
             raise SystemExit(f"cannot load {path!r}: {exc}")
-    metrics = [args.metric] + ([args.metric2] if args.metric2 else [])
+    metrics = [args.metric]
+    if args.metric2 and args.metric2 != args.metric:
+        metrics.append(args.metric2)
     for _path, result in loaded:
-        report(result, pick_x_axis(result, args.x), metrics)
+        if args.pareto:
+            pareto_report(result, args.pareto, args.metric)
+        else:
+            report(result, pick_x_axis(result, args.x), metrics,
+                   group_hedges=args.group_hedges)
     if args.png:
-        render_png(loaded, args.x, args.metric, args.png)
+        render_png(loaded, args.x, args.metric, args.png,
+                   group_hedges=args.group_hedges, pareto=args.pareto)
     return 0
 
 

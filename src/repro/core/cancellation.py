@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Callable, Dict, List, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -69,6 +69,7 @@ def simulate_cancelling_arrivals(
     max_copies: int,
     server_of: Callable[[int, int], int],
     begin: Callable[[int, int, float], BeginResult],
+    on_copy_resolved: Optional[Callable[[int, int, str, float, float], None]] = None,
 ):
     """Drive FIFO servers through ``policy`` with cancel-on-win honoured.
 
@@ -79,6 +80,16 @@ def simulate_cancelling_arrivals(
         server_of: ``server_of(request, copy) -> station id`` for the queue
             the copy joins.
         begin: Dispatch-time callback; see the module docstring.
+        on_copy_resolved: Optional per-copy accounting hook, called the
+            moment a copy's fate is sealed (in deterministic event order):
+            ``on_copy_resolved(request, copy, outcome, work_s, finish_s)``
+            with ``outcome`` one of ``"finished"`` (the copy enters service —
+            FIFO completion is known then; ``work_s`` is its station-busy
+            seconds, ``finish_s`` its absolute completion including any
+            tail), ``"done"`` (queue-bypassing work; ``work_s`` is 0.0) or
+            ``"cancelled"`` (withdrawn while queued; ``work_s`` is 0.0 and
+            ``finish_s`` the cancellation time).  Copies whose launch was
+            suppressed never reach the hook.
 
     Returns:
         ``(finish_at, copies_launched, copies_cancelled)`` per-request
@@ -123,10 +134,12 @@ def simulate_cancelling_arrivals(
             push(at, _WIN, (request,))
 
     def enter_service(station: _Server, entry: list, at: float) -> None:
-        request, _copy, service, tail = entry[0], entry[1], entry[2], entry[3]
+        request, copy, service, tail = entry[0], entry[1], entry[2], entry[3]
         entry[4] = _IN_SERVICE
         station.busy = True
         finish = at + service
+        if on_copy_resolved is not None:
+            on_copy_resolved(request, copy, "finished", service, finish + tail)
         complete(request, finish + tail)
         push(finish, _POP, (id(station), station))
 
@@ -134,6 +147,8 @@ def simulate_cancelling_arrivals(
         launched[request] += 1
         result = begin(request, copy, at)
         if result[0] == "done":
+            if on_copy_resolved is not None:
+                on_copy_resolved(request, copy, "done", 0.0, result[1])
             complete(request, result[1])
             return
         _kind, service, tail = result
@@ -175,6 +190,8 @@ def simulate_cancelling_arrivals(
                     if entry[4] == _QUEUED:
                         entry[4] = _CANCELLED
                         cancelled[request] += 1
+                        if on_copy_resolved is not None:
+                            on_copy_resolved(request, entry[1], "cancelled", 0.0, at)
             feedback(request)
         else:  # _POP: a station finished its in-service job
             _sid, station = payload

@@ -300,9 +300,19 @@ def cmd_timing_report(args: argparse.Namespace) -> int:
     # under colliding "shard I/N" labels would silently mislead.
     scenarios = sorted({header.get("scenario") for _path, header, _r in loaded})
     if len(scenarios) > 1:
+        offenders = ", ".join(
+            (
+                f"{path!r} ({sidecar_label(header, path)}): "
+                if header.get("shard")
+                else f"{path!r}: "
+            )
+            + f"{header.get('scenario')!r}"
+            for path, header, _records in loaded
+        )
         raise ConfigurationError(
             f"timing-report covers one sweep at a time, but these sidecars "
-            f"span scenarios {scenarios}; run one report per scenario"
+            f"span scenarios {scenarios} — {offenders}; run one report per "
+            f"scenario"
         )
 
     totals = ResultTable(

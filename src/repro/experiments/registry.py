@@ -96,6 +96,26 @@ register_scenario(
     )
 )
 
+register_scenario(
+    Scenario(
+        name="smoke-pipeline",
+        entry_point="pipeline",
+        tier="smoke",
+        description=(
+            "Tiny job-pipeline sweep (2 stages, both execution paths) for CI "
+            "determinism smokes (seconds)."
+        ),
+        base_params={
+            "num_jobs": 30,
+            "num_workers": 8,
+            "num_chunks": 12,
+            "num_stages": 2,
+            "straggler_alpha": 1.4,
+        },
+        grid=ParameterGrid({"policy": ["none", "k2", "hedge:p95"]}),
+    )
+)
+
 # --------------------------------------------------------------------------- #
 # Built-in catalogue — standard tier
 # --------------------------------------------------------------------------- #
@@ -312,6 +332,113 @@ register_scenario(
         base_params={"num_samples": 50_000},
         grid=ParameterGrid(
             {"rtt": [0.05, 0.2], "policy": ["none", "k2", "hedge:200ms", "hedge:1s"]}
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-queueing-hedge-grid",
+        entry_point="queueing",
+        description=(
+            "Hedge-delay grid on the Section 2.1 queueing model (mean service "
+            "time = 1 s): a dense fixed-delay ladder between 'none' and eager "
+            "'k2', chartable as one frontier line with "
+            "scripts/plot_ablation.py --group-hedges."
+        ),
+        base_params={"distribution": "exponential", "num_requests": 20_000},
+        grid=ParameterGrid(
+            {
+                "load": [0.2, 0.4],
+                "policy": [
+                    "none", "k2", "hedge:100ms", "hedge:250ms",
+                    "hedge:500ms", "hedge:1s", "hedge:2s",
+                ],
+            }
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-db-hedge-grid",
+        entry_point="database",
+        description=(
+            "Hedge-delay grid on the Section 2.2 disk-backed database (base "
+            "configuration): the fixed-delay ladder filling in the frontier "
+            "between 'none' and eager 'k2'."
+        ),
+        base_params={
+            "variant": "base",
+            "num_files": 20_000,
+            "num_requests": 10_000,
+            "ccdf_thresholds_ms": [5, 10, 20, 50, 100, 200],
+        },
+        grid=ParameterGrid(
+            {
+                "load": [0.2, 0.4],
+                "policy": [
+                    "none", "k2", "hedge:5ms", "hedge:10ms",
+                    "hedge:20ms", "hedge:50ms", "hedge:100ms",
+                ],
+            }
+        ),
+    )
+)
+
+# --------------------------------------------------------------------------- #
+# Built-in catalogue — job pipelines (beyond the paper; repro.pipeline)
+#
+# The paper's per-request frontier, re-run at per-chunk granularity: job
+# completion time is a fan-in max over chunks, so stragglers compound and
+# redundancy buys tail latency at a measurable wasted-work cost.
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="standard-pipeline-stragglers",
+        entry_point="pipeline",
+        description=(
+            "Straggler mitigation in single-stage fan-out/fan-in jobs: policy "
+            "x chunk-count x machine-tail-index sweep of job completion time "
+            "vs wasted work (chart with scripts/plot_ablation.py --pareto "
+            "wasted_work_fraction)."
+        ),
+        base_params={"num_jobs": 150, "num_workers": 16, "num_stages": 1},
+        grid=ParameterGrid(
+            {
+                "policy": [
+                    "none", "k2", "k3", "hedge:150ms", "hedge:400ms", "hedge:p95",
+                ],
+                "num_chunks": [16, 64],
+                "straggler_alpha": [1.2, 2.0],
+            }
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-pipeline-dag",
+        entry_point="pipeline",
+        description=(
+            "Multi-stage DAG (map -> shuffle -> reduce, shrinking chunk "
+            "counts) with seeded worker crash/restart cycles: how failures "
+            "shift the completion-time-vs-waste frontier."
+        ),
+        base_params={
+            "num_jobs": 120,
+            "num_workers": 12,
+            "num_chunks": 24,
+            "num_stages": 3,
+            "output_ratio": 0.5,
+            "restart_s": 0.5,
+        },
+        grid=ParameterGrid(
+            {
+                "policy": ["none", "k2", "hedge:p95"],
+                "fail_prob": [0.0, 0.04],
+            }
         ),
     )
 )

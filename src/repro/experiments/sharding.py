@@ -42,6 +42,7 @@ from repro.experiments.artifact import (
     load_partial,
     point_record,
 )
+from repro.experiments.timing import sidecar_label
 
 #: Header fields that identify a sweep; every merged input must agree on all
 #: of them (the ``shard`` stanza is the one header field allowed to differ).
@@ -120,6 +121,18 @@ def _strip_shard(header: Dict[str, Any]) -> Dict[str, Any]:
     return {key: value for key, value in header.items() if key != "shard"}
 
 
+def _input_label(header: Dict[str, Any], path: str) -> str:
+    """A merge input's display name: its path plus its ``shard I/N`` stanza.
+
+    Merge errors name the offending inputs; on a fleet the shard identity is
+    what the operator greps for (the path is often a scratch filename), so
+    sharded inputs are labelled ``'path' (shard I/N)``.
+    """
+    if header.get("shard"):
+        return f"{path!r} ({sidecar_label(header, path)})"
+    return repr(path)
+
+
 def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
     """Merge shard artifacts into one complete streaming artifact at ``out``.
 
@@ -151,9 +164,10 @@ def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
     if not shard_paths:
         raise ConfigurationError("merge needs at least one shard artifact")
     reference_header: Optional[Dict[str, Any]] = None
-    reference_path = ""
+    reference_label = ""
     by_seed: Dict[int, Tuple[Dict[str, Any], str]] = {}
     by_index: Dict[int, int] = {}
+    input_labels = []
     duplicates = 0
     for path in shard_paths:
         header, points = load_partial(path)
@@ -162,15 +176,17 @@ def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
                 f"cannot merge {path!r}: the file is missing or empty (it has "
                 f"no header record, so it was never started as a sweep artifact)"
             )
+        label = _input_label(header, path)
+        input_labels.append(label)
         if reference_header is None:
-            reference_header, reference_path = header, path
+            reference_header, reference_label = header, label
         else:
             for name in IDENTITY_FIELDS:
                 have = canonicalize(header.get(name))
                 want = canonicalize(reference_header.get(name))
                 if have != want:
                     raise ConfigurationError(
-                        f"cannot merge {path!r} with {reference_path!r}: "
+                        f"cannot merge {label} with {reference_label}: "
                         f"header field {name}={have!r} does not match "
                         f"{name}={want!r} — shards of one sweep must be run "
                         f"with the same scenario, seed and --set overrides"
@@ -182,7 +198,7 @@ def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
                     raise ConfigurationError(
                         f"conflicting records for point seed {seed} "
                         f"(params={record.get('params')!r}) between "
-                        f"{existing[1]!r} and {path!r}: the same point must "
+                        f"{existing[1]} and {label}: the same point must "
                         f"produce identical results on every machine — were "
                         f"these shards run from different code versions?"
                     )
@@ -194,9 +210,9 @@ def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
                 raise ConfigurationError(
                     f"conflicting records for grid index {index}: seeds "
                     f"{claimed} and {seed} both claim it (latest from "
-                    f"{path!r}) — these artifacts are not shards of one sweep"
+                    f"{label}) — these artifacts are not shards of one sweep"
                 )
-            by_seed[seed] = (record, path)
+            by_seed[seed] = (record, label)
             by_index[index] = seed
     assert reference_header is not None
     num_points = int(reference_header["num_points"])
@@ -205,7 +221,8 @@ def merge_artifacts(out: str, shard_paths: Sequence[str]) -> Dict[str, Any]:
         shown = ", ".join(str(i) for i in missing[:20])
         more = f", ... ({len(missing) - 20} more)" if len(missing) > 20 else ""
         raise ConfigurationError(
-            f"merge of {len(list(shard_paths))} artifact(s) covers only "
+            f"merge of {len(input_labels)} artifact(s) "
+            f"({', '.join(input_labels)}) covers only "
             f"{len(by_index)} of {num_points} grid points; missing grid "
             f"index(es): {shown}{more} — a shard is absent from the merge, or "
             f"was killed mid-run (finish it with --resume and re-merge)"

@@ -178,6 +178,21 @@ CKERNELS = declare(
     ),
 )
 
+PIPELINE_PATH = declare(
+    "REPRO_PIPELINE_PATH",
+    default="auto",
+    choices=("auto", "event", "fast"),
+    help=(
+        "Execution path of the pipeline substrate (repro.pipeline): 'event' "
+        "always runs the cancellable event-driven executor; 'fast' demands "
+        "the closed-form vectorised path (an error for configurations it "
+        "cannot express — hedged policies, cancel-on-win or worker "
+        "failures); 'auto' picks 'fast' when eligible.  The two paths are "
+        "byte-identical (CI cmps them); consumed by "
+        "repro.pipeline.experiment.resolve_pipeline_path."
+    ),
+)
+
 SIM_QUEUE = declare(
     "REPRO_SIM_QUEUE",
     default="auto",

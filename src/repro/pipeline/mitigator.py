@@ -1,0 +1,82 @@
+"""The straggler mitigator: one policy instance per stage, fed per stage.
+
+The mitigator owns the run's :class:`~repro.core.policy.ReplicationPolicy`
+instances — one per stage, parsed from a single spec — so adaptive hedges
+(``hedge:p95``) track each stage's *own* chunk-latency distribution: a map
+stage's hedge delay should not chase reduce-stage latencies.  After every
+stage execution :meth:`StragglerMitigator.observe` feeds the chunk latencies
+back in completion order (ties broken by chunk index), the same
+completion-ordered contract the request-level engines honour; the feedback
+therefore shapes the *next* job's plans for that stage, never the stage that
+produced it (all of a stage's plans are made at its barrier, before any of
+its completions).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.policy import (
+    PolicyLike,
+    ReplicationPolicy,
+    canonical_policy_spec,
+    eager_copies,
+    parse_policy,
+)
+from repro.pipeline.workers import WorkerPool
+
+__all__ = ["StragglerMitigator"]
+
+
+class StragglerMitigator:
+    """Applies one policy spec per chunk, stage by stage, across a run."""
+
+    def __init__(self, policy: PolicyLike, num_stages: int) -> None:
+        """Create per-stage policy instances from one spec.
+
+        Args:
+            policy: A policy spec (``"none"``, ``"k2"``, ``"hedge:10ms"``,
+                ``"hedge:p95"``), policy object or copy count.  Specs are
+                parsed once per stage so adaptive state is per-stage; a
+                ready-made policy *object* is shared across stages verbatim.
+            num_stages: Number of stages in the job chain.
+        """
+        self.spec = canonical_policy_spec(policy)
+        if isinstance(policy, ReplicationPolicy):
+            self.policies: List[ReplicationPolicy] = [policy] * num_stages
+        else:
+            self.policies = [parse_policy(policy) for _ in range(num_stages)]
+
+    def policy_for(self, stage: int) -> ReplicationPolicy:
+        """The (stateful) policy instance driving ``stage``."""
+        return self.policies[stage]
+
+    def max_copies(self, stage: int) -> int:
+        """Copies to place for ``stage`` (the policy's plan-size bound)."""
+        return self.policies[stage].max_copies
+
+    def fastpath_eligible(self, pool: WorkerPool) -> bool:
+        """Whether the closed-form fast path can express this run.
+
+        True only when every stage's policy is static, launches all copies
+        immediately and never cancels (``eager_copies`` is not None) *and*
+        workers cannot fail — the exact regime where a stage's outcome is a
+        max of FIFO finish times.
+        """
+        if pool.fail_probability > 0.0:
+            return False
+        return all(eager_copies(policy) is not None for policy in self.policies)
+
+    def observe(self, stage: int, finish_at: np.ndarray, start_at: float) -> None:
+        """Feed one stage execution's chunk latencies back to its policy.
+
+        Latencies are recorded in completion order (stable on ties), the
+        order a live scheduler would observe them.  Static policies ignore
+        the feedback, so both execution paths may call this unconditionally.
+        """
+        order = np.argsort(finish_at, kind="stable")
+        policy = self.policies[stage]
+        for index in order:
+            policy.record_latency(float(finish_at[index] - start_at))

@@ -1,0 +1,122 @@
+"""Result containers and the shared accounting the two execution paths feed.
+
+Both executors return a :class:`StageOutcome` — per-chunk completion times
+plus a per-copy ``(chunks, copies)`` view of completions and busy seconds —
+and every scalar derived from it (wasted work, winners, the barrier) is
+computed *here*, once, by :func:`stage_accounting` and the
+:class:`PipelineRunResult` assembly.  Because the event-driven and fast
+paths produce bit-identical arrays, routing all reductions through shared
+code makes every downstream float (sums included, whose value depends on
+reduction order) bit-identical too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import LatencySummary
+from repro.metrics import LatencyRecorder
+
+__all__ = ["StageOutcome", "PipelineRunResult", "stage_accounting"]
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """What one stage execution produced, path-independently.
+
+    Attributes:
+        finish_at: ``(num_chunks,)`` absolute completion time of each chunk
+            (its earliest-finishing copy).
+        copy_finish: ``(num_chunks, copies)`` absolute completion per copy;
+            ``inf`` for copies that were cancelled or never launched.
+        work: ``(num_chunks, copies)`` busy seconds each copy held its
+            worker; ``0.0`` for cancelled / unlaunched copies.
+        launched: Total copies dispatched.
+        cancelled: Total copies withdrawn from worker queues on a win.
+    """
+
+    finish_at: np.ndarray
+    copy_finish: np.ndarray
+    work: np.ndarray
+    launched: int
+    cancelled: int
+
+
+def stage_accounting(outcome: StageOutcome) -> Tuple[float, float]:
+    """``(useful_s, wasted_s)`` of one stage.
+
+    The useful work of a chunk is the busy time of its *winning* copy (the
+    earliest finisher, first copy on ties — matching the engines'
+    strict-less win rule); everything else any copy burned — losing eager
+    copies, hedges that fired but lost, crash/restart cycles of the winner
+    are part of *its* busy time and hence useful — is wasted.
+    """
+    num_chunks = outcome.finish_at.shape[0]
+    winners = np.argmin(outcome.copy_finish, axis=1)
+    useful = float(np.sum(outcome.work[np.arange(num_chunks), winners]))
+    wasted = float(np.sum(outcome.work)) - useful
+    return useful, wasted
+
+
+@dataclass(frozen=True)
+class PipelineRunResult:
+    """Aggregate result of a pipeline run (many jobs through one config).
+
+    Attributes:
+        policy: Canonical spec of the straggler-mitigation policy.
+        path: Which execution path ran (``"event"`` or ``"fast"``) — for
+            introspection only; excluded from artifacts, which must not
+            depend on it.
+        job_completion_s: ``(num_jobs,)`` completion time of each job.
+        stage_makespan_s: ``(num_jobs, num_stages)`` per-stage makespans.
+        useful_work_s: Winning-copy busy seconds across the run.
+        wasted_work_s: Duplicate busy seconds across the run.
+        copies_launched: Chunk copies dispatched across the run.
+        copies_cancelled: Copies withdrawn from queues on wins.
+        chunks: Total chunks executed.
+        metrics: The run's metrics snapshot (counters + recorders).
+    """
+
+    policy: str
+    path: str
+    job_completion_s: np.ndarray
+    stage_makespan_s: np.ndarray
+    useful_work_s: float
+    wasted_work_s: float
+    copies_launched: int
+    copies_cancelled: int
+    chunks: int
+    metrics: Dict[str, Any]
+
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs the run executed."""
+        return int(self.job_completion_s.shape[0])
+
+    @property
+    def num_stages(self) -> int:
+        """Stages per job."""
+        return int(self.stage_makespan_s.shape[1])
+
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Duplicate chunk-seconds per useful chunk-second (the cost axis)."""
+        if self.useful_work_s <= 0.0:
+            return 0.0
+        return self.wasted_work_s / self.useful_work_s
+
+    @property
+    def copies_per_chunk(self) -> float:
+        """Mean copies dispatched per chunk (1.0 means no redundancy)."""
+        if self.chunks == 0:
+            return 0.0
+        return self.copies_launched / self.chunks
+
+    def summary(self) -> LatencySummary:
+        """Percentile summary of the job completion times."""
+        return LatencyRecorder.from_samples(
+            self.job_completion_s, name="job_completion"
+        ).summary()

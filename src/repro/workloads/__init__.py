@@ -11,7 +11,12 @@ through :mod:`repro.sim.rng`, so a scenario sweep regenerates identical
 workloads at every grid point regardless of worker count.
 """
 
-from repro.workloads.arrivals import PoissonArrivals, RenewalArrivals, merge_arrival_times
+from repro.workloads.arrivals import (
+    PoissonArrivals,
+    RenewalArrivals,
+    merge_arrival_times,
+    thin_arrivals,
+)
 from repro.workloads.keys import UniformKeys, ZipfKeys
 from repro.workloads.filesets import FileSet, build_fileset_for_cache_ratio
 
@@ -19,6 +24,7 @@ __all__ = [
     "PoissonArrivals",
     "RenewalArrivals",
     "merge_arrival_times",
+    "thin_arrivals",
     "UniformKeys",
     "ZipfKeys",
     "FileSet",

@@ -112,6 +112,33 @@ class RenewalArrivals:
         return 1.0 / self.interarrival.mean()
 
 
+def thin_arrivals(
+    times: np.ndarray, keep_probability: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Independently keep each arrival with probability ``keep_probability``.
+
+    Thinning a Poisson process of rate ``λ`` with keep probability ``p``
+    yields a Poisson process of rate ``p·λ`` — the standard construction for
+    splitting one aggregate stream into per-server substreams, and the dual
+    of :func:`merge_arrival_times`.  One uniform is drawn per arrival (in
+    order), so the result is a pure function of ``(times, rng state)``.
+
+    Args:
+        times: Sorted arrival times.
+        keep_probability: Probability in ``[0, 1]`` of keeping each arrival.
+        rng: Random generator supplying one uniform per arrival.
+
+    Returns:
+        The kept arrival times, in their original order.
+    """
+    if not 0.0 <= keep_probability <= 1.0:
+        raise ConfigurationError(
+            f"keep_probability must be in [0, 1], got {keep_probability!r}"
+        )
+    values = np.asarray(times, dtype=float)
+    return values[rng.random(values.size) < keep_probability]
+
+
 def merge_arrival_times(streams: Iterable[np.ndarray]) -> np.ndarray:
     """Merge several sorted arrival-time arrays into one sorted array.
 
