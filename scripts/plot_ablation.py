@@ -202,6 +202,74 @@ def report(
     print()
 
 
+#: The scalar columns every churn adapter exports (repro.cluster.churn
+#: spike_metrics), in table order.
+SPIKE_COLUMNS = (
+    "p99_before", "p99_spike", "p99_after", "spike_ratio", "spike_duration_s"
+)
+
+
+def pick_spike_x(result: SweepResult, requested: Optional[str]) -> Optional[str]:
+    """The x axis of a spike view: ``--x`` if given, else the first swept
+    axis that is neither ``policy`` nor ``churn`` (e.g. ``migration_rate``
+    for the elasticity scenarios)."""
+    if requested:
+        return pick_x_axis(result, requested)
+    for name in result.axes:
+        if name not in ("policy", "churn"):
+            return name
+    return None
+
+
+def spike_report(result: SweepResult, x_axis: Optional[str]) -> None:
+    """Print the before/during/after p99 decomposition of a churn sweep.
+
+    One row per point: steady-state p99 before the first membership event,
+    the worst per-bin p99 during the rebalance/failover window, the settled
+    p99 afterwards, and the spike's height (ratio over *before*) and
+    duration.  The policy with the lowest absolute spike per x is starred —
+    the "redundancy masks the spike" frontier.
+    """
+    x_label = x_axis or "sweep"
+    table = ResultTable(
+        [x_label, "policy"] + list(SPIKE_COLUMNS) + ["masked"],
+        title=f"{result.scenario}: churn spike view vs {x_label} "
+              f"({len(result.ok_points())} ok points)",
+    )
+    rows = frontier_rows(result, x_axis, "p99_spike")
+    for x, points, best in rows:
+        for point in points:
+            row: Dict[str, Any] = {
+                x_label: x,
+                "policy": policy_of(point),
+                "masked": "*" if point is best else "",
+            }
+            for name in SPIKE_COLUMNS:
+                row[name] = metric_of(point, name)
+            table.add_row(**row)
+    print(table.to_text())
+    for x, points, best in rows:
+        if best is None:
+            continue
+        baseline = next(
+            (metric_of(p, "p99_spike") for p in points if policy_of(p) == "none"),
+            None,
+        )
+        best_spike = metric_of(best, "p99_spike")
+        delta = (
+            f" ({100.0 * (best_spike - baseline) / baseline:+.1f}% vs none)"
+            if baseline and policy_of(best) != "none"
+            else ""
+        )
+        print(
+            f"  spike@{x_label}={x}: {policy_of(best)} "
+            f"(p99_spike={best_spike:.4g}{delta}, "
+            f"ratio={metric_of(best, 'spike_ratio'):.3g}, "
+            f"duration={metric_of(best, 'spike_duration_s'):.3g}s)"
+        )
+    print()
+
+
 def pareto_points(
     result: SweepResult, x_metric: str, y_metric: str
 ) -> List[Tuple[float, float, str, bool]]:
@@ -374,6 +442,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             "non-dominated points instead of the per-x frontier tables"
         ),
     )
+    parser.add_argument(
+        "--spike", action="store_true",
+        help=(
+            "churn view: before/during/after p99 decomposition of "
+            "membership-event sweeps (standard-db-rebalance, "
+            "standard-memcached-failover), lowest spike starred"
+        ),
+    )
     args = parser.parse_args(argv)
 
     loaded = []
@@ -386,7 +462,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.metric2 and args.metric2 != args.metric:
         metrics.append(args.metric2)
     for _path, result in loaded:
-        if args.pareto:
+        if args.spike:
+            spike_report(result, pick_spike_x(result, args.x))
+        elif args.pareto:
             pareto_report(result, args.pareto, args.metric)
         else:
             report(result, pick_x_axis(result, args.x), metrics,

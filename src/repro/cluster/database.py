@@ -22,12 +22,19 @@ code path byte-for-byte.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
 from repro.cluster.cache import LRUByteCache
+from repro.cluster.churn import (
+    ChurnTimeline,
+    migration_schedule,
+    parse_churn,
+    resolve_churn_placement,
+    spike_metrics,
+)
 from repro.cluster.consistent_hash import ConsistentHashRing
 from repro.cluster.draws import (
     exact_disk_services,
@@ -220,6 +227,9 @@ class DatabaseRunResult:
         copies_cancelled: Reads cancelled while still queued after another
             copy won (warmup included); ``None`` unless the policy cancels
             on win (the event-driven cancellation engine ran).
+        spike: Before/during/after p99 quantification of the membership-event
+            latency spike (see :func:`repro.cluster.churn.spike_metrics`);
+            ``None`` unless the run had a churn timeline.
     """
 
     load: float
@@ -231,6 +241,7 @@ class DatabaseRunResult:
     policy_spec: Optional[str] = None
     copies_launched: Optional[int] = None
     copies_cancelled: Optional[int] = None
+    spike: Optional[Dict[str, float]] = None
 
     @property
     def mean(self) -> float:
@@ -347,6 +358,8 @@ class DatabaseClusterExperiment:
         warmup_fraction: float = 0.2,
         policy: Optional[PolicyLike] = None,
         draws: Optional[str] = None,
+        churn: Optional[Union[str, ChurnTimeline]] = None,
+        migration_rate: float = 50.0,
     ) -> DatabaseRunResult:
         """Simulate the cluster at one load.
 
@@ -373,6 +386,16 @@ class DatabaseClusterExperiment:
                 batched mode consumes the same substreams in the same order.
                 Hedged policies always use the scalar path (backup launches
                 depend on earlier completions).
+            churn: A membership-event timeline — a
+                :class:`~repro.cluster.churn.ChurnTimeline` or spec string
+                like ``"remove:2@0.4"`` (times are fractions of the arrival
+                horizon).  Keys are re-homed per the live ring each epoch,
+                migration reads compete with foreground requests on the
+                gaining servers' disks (and warm their LRU caches), and
+                servers added mid-run start cold.  Remove and crash are
+                identical here (fail-stop, no drain).  An empty timeline is
+                exactly the static run.
+            migration_rate: Migration reads per second per gaining server.
 
         Returns:
             A :class:`DatabaseRunResult`.
@@ -401,6 +424,12 @@ class DatabaseClusterExperiment:
             )
         if num_requests < 100:
             raise ConfigurationError(f"num_requests must be >= 100, got {num_requests!r}")
+
+        timeline = parse_churn(churn)
+        if timeline:
+            return self._run_churn(
+                load, hedged, k, num_requests, warmup_fraction, timeline, migration_rate
+            )
 
         arrivals_rng = substream(config.seed, "arrivals", load)
         keys_rng = substream(config.seed, "keys", load)
@@ -509,6 +538,187 @@ class DatabaseClusterExperiment:
             policy_spec=run_policy_spec(hedged, k),
             copies_launched=total_launched,
             copies_cancelled=total_cancelled,
+        )
+
+    def _run_churn(
+        self,
+        load: float,
+        hedged,
+        k: int,
+        num_requests: int,
+        warmup_fraction: float,
+        timeline: ChurnTimeline,
+        migration_rate: float,
+    ) -> DatabaseRunResult:
+        """One run under a membership-event timeline.
+
+        Requests are placed on the ring that is live at their arrival time
+        (epoch-wise); each membership change triggers migration reads on the
+        gaining servers — paced at ``migration_rate`` per server — which
+        compete with foreground traffic in the same disk FIFOs and warm the
+        new owners' caches file by file.  Servers added mid-run start with a
+        cold cache; removed and crashed servers simply leave the ring
+        (fail-stop, no drain), which is what makes crash-at-t byte-identical
+        to remove-at-t.  All randomness comes from the same seeded substreams
+        as the static path, so churn artifacts stay byte-identical at any
+        worker count.
+        """
+        config = self.config
+        placement = resolve_churn_placement()
+        rings = timeline.epoch_rings(config.num_servers, self._ring.virtual_nodes)
+        min_live = min(ring.num_servers for ring in rings)
+        if k > min_live:
+            raise ConfigurationError(
+                f"copies={k} exceeds the {min_live} servers live in the "
+                f"smallest epoch of churn {timeline.spec()!r}"
+            )
+
+        arrivals_rng = substream(config.seed, "arrivals", load)
+        keys_rng = substream(config.seed, "keys", load)
+        mean_service = config.expected_service_time(1)
+        total_rate = config.num_servers * load / mean_service
+        arrival_times = np.cumsum(arrivals_rng.exponential(1.0 / total_rate, num_requests))
+        file_ids = keys_rng.integers(0, config.num_files, size=num_requests)
+        sizes = self._fileset.sizes_bytes[file_ids]
+
+        horizon = float(arrival_times[-1])
+        event_times = timeline.event_times(horizon)
+        epoch_of = np.searchsorted(event_times, arrival_times, side="right")
+        replica_lists = np.empty((num_requests, k), dtype=np.int64)
+        if placement == "epoch":
+            for epoch, ring in enumerate(rings):
+                pos = np.flatnonzero(epoch_of == epoch)
+                if pos.size:
+                    replica_lists[pos] = ring.replica_table(file_ids[pos].tolist(), k)
+        else:
+            for i in range(num_requests):
+                replica_lists[i] = rings[epoch_of[i]].replicas_for(int(file_ids[i]), k)
+
+        run_seed = (k, hash(round(load, 6)) & 0xFFFF)
+        servers_by_id: Dict[int, StorageServerModel] = {}
+        for server_id in timeline.all_servers(config.num_servers):
+            servers_by_id[server_id] = StorageServerModel(
+                server_id=server_id,
+                cache_bytes=config.cache_bytes_per_server,
+                disk=config.disk,
+                memory_service_s=config.memory_service_s,
+                noise_probability=config.noise_probability,
+                noise_multiplier_mean=config.noise_multiplier_mean,
+                rng=substream(config.seed, "server", server_id, *run_seed),
+            )
+        # Only the initial pool is warm; a server added mid-run earns its
+        # cache through migration reads and foreground misses.
+        self._warm_caches(
+            [servers_by_id[s] for s in range(config.num_servers)], k
+        )
+
+        mig_times, mig_servers, mig_files = migration_schedule(
+            rings, event_times, config.num_files, migration_rate, horizon
+        )
+        mig_sizes = self._fileset.sizes_bytes[mig_files]
+        num_migrations = len(mig_times)
+        overhead_unit = config.client_overhead_per_extra_copy()
+        total_cancelled: Optional[int] = None
+
+        if hedged is None:
+            overhead = overhead_unit * (k - 1)
+            response = np.empty(num_requests)
+            m = 0
+            for i in range(num_requests):
+                arrival = float(arrival_times[i])
+                while m < num_migrations and mig_times[m] <= arrival:
+                    servers_by_id[int(mig_servers[m])].serve(
+                        float(mig_times[m]), int(mig_files[m]), float(mig_sizes[m])
+                    )
+                    m += 1
+                best = np.inf
+                for copy in range(k):
+                    server = servers_by_id[int(replica_lists[i, copy])]
+                    completion, _hit = server.serve(arrival, int(file_ids[i]), float(sizes[i]))
+                    elapsed = completion - arrival
+                    if elapsed < best:
+                        best = elapsed
+                response[i] = best + overhead
+            total_launched = num_requests * k
+        elif hedged.cancel_on_win:
+
+            def server_index(request: int, copy: int) -> int:
+                return int(replica_lists[request, copy])
+
+            def begin(request: int, copy: int, at: float):
+                return servers_by_id[int(replica_lists[request, copy])].probe(
+                    at, int(file_ids[request]), float(sizes[request])
+                )
+
+            def begin_background(job: int, at: float):
+                return servers_by_id[int(mig_servers[job])].probe(
+                    at, int(mig_files[job]), float(mig_sizes[job])
+                )
+
+            background = [
+                (float(mig_times[j]), int(mig_servers[j]), j)
+                for j in range(num_migrations)
+            ]
+            finish_at, launched, cancelled = simulate_cancelling_arrivals(
+                hedged,
+                arrival_times,
+                k,
+                server_index,
+                begin,
+                background_jobs=background,
+                begin_background=begin_background,
+            )
+            billable = launched - cancelled
+            total_cancelled = int(cancelled.sum())
+            response = (finish_at - arrival_times) + overhead_unit * (billable - 1)
+            total_launched = int(launched.sum())
+        else:
+            # simulate_hedged_arrivals calls launch in global time order, so
+            # flushing due migration reads right before each dispatch keeps
+            # every disk FIFO in per-server time order.
+            state = {"next": 0}
+
+            def launch(request: int, copy: int, at: float) -> float:
+                m = state["next"]
+                while m < num_migrations and mig_times[m] <= at:
+                    servers_by_id[int(mig_servers[m])].serve(
+                        float(mig_times[m]), int(mig_files[m]), float(mig_sizes[m])
+                    )
+                    m += 1
+                state["next"] = m
+                server = servers_by_id[int(replica_lists[request, copy])]
+                completion, _hit = server.serve(at, int(file_ids[request]), float(sizes[request]))
+                return completion
+
+            finish_at, launched = simulate_hedged_arrivals(hedged, arrival_times, k, launch)
+            response = (finish_at - arrival_times) + overhead_unit * (launched - 1)
+            total_launched = int(launched.sum())
+
+        hits = sum(s.cache.hits for s in servers_by_id.values())
+        misses = sum(s.cache.misses for s in servers_by_id.values())
+        start = int(num_requests * warmup_fraction)
+        retained = response[start:]
+        spike = spike_metrics(arrival_times[start:], retained, event_times)
+        registry = MetricsRegistry("database")
+        registry.counter("requests").increment(num_requests)
+        registry.counter("copies_launched").increment(total_launched)
+        registry.counter("cache_hits").increment(hits)
+        registry.counter("cache_misses").increment(misses)
+        registry.counter("migration_jobs").increment(num_migrations)
+        recorder = registry.recorder("latency")
+        recorder.record_many(retained)
+        accesses = hits + misses
+        return DatabaseRunResult(
+            load=float(load),
+            copies=k,
+            response_times=retained,
+            summary=recorder.summary(),
+            cache_hit_ratio=hits / accesses if accesses else 0.0,
+            metrics=registry.snapshot(),
+            policy_spec=run_policy_spec(hedged, k),
+            copies_launched=total_launched,
+            copies_cancelled=total_cancelled,
+            spike=spike,
         )
 
     def _eager_batched(

@@ -18,11 +18,18 @@ here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.analysis.stats import LatencySummary
+from repro.cluster.churn import (
+    ChurnTimeline,
+    migration_schedule,
+    parse_churn,
+    resolve_churn_placement,
+    spike_metrics,
+)
 from repro.cluster.draws import resolve_draws_mode, sequential_finish_times
 from repro.core.cancellation import simulate_cancelling_arrivals
 from repro.core.policy import (
@@ -128,6 +135,9 @@ class MemcachedRunResult:
         copies_cancelled: Copies cancelled while still queued after another
             copy won (warmup included); ``None`` unless the policy cancels
             on win (the event-driven cancellation engine ran).
+        spike: Before/during/after p99 quantification of the membership-event
+            latency spike (see :func:`repro.cluster.churn.spike_metrics`);
+            ``None`` unless the run had a churn timeline.
     """
 
     load: float
@@ -139,6 +149,7 @@ class MemcachedRunResult:
     policy_spec: Optional[str] = None
     copies_launched: Optional[int] = None
     copies_cancelled: Optional[int] = None
+    spike: Optional[Dict[str, float]] = None
 
     @property
     def mean(self) -> float:
@@ -171,6 +182,10 @@ class MemcachedExperiment:
         warmup_fraction: float = 0.1,
         policy: Optional[PolicyLike] = None,
         draws: Optional[str] = None,
+        churn: Optional[Union[str, ChurnTimeline]] = None,
+        migration_rate: float = 2000.0,
+        num_keys: int = 20_000,
+        cold_penalty_s: float = 0.002,
     ) -> MemcachedRunResult:
         """Simulate the memcached cluster at one load.
 
@@ -195,9 +210,25 @@ class MemcachedExperiment:
                 consults ``REPRO_DRAWS``.  Both are byte-identical.  Stub and
                 hedged runs are unaffected (the stub path is already
                 vectorised; hedged launches depend on earlier completions).
+            churn: A membership-event timeline — a
+                :class:`~repro.cluster.churn.ChurnTimeline` or spec string
+                like ``"crash:1@0.4"`` (times are fractions of the arrival
+                horizon).  Churn runs place keys on a consistent-hash ring
+                over a ``num_keys`` keyspace (instead of the static runs'
+                random placement): keys re-home per the live ring each
+                epoch, migration SETs compete with foreground GETs in the
+                gaining servers' FIFOs, and a GET served by a gaining server
+                before its key's migration SET is scheduled pays
+                ``cold_penalty_s`` (fetch-through from a surviving replica).
+                Remove and crash are identical here (fail-stop, no drain).
+            migration_rate: Migration SETs per second per gaining server.
+            num_keys: Keyspace size of churn runs.
+            cold_penalty_s: Server-side cost of a pre-migration cold read.
 
         Raises:
             CapacityError: If the offered load saturates the servers.
+            ConfigurationError: If ``churn`` is combined with ``stub`` (the
+                stub build has no servers to re-home keys across).
         """
         config = self.config
         hedged, k = resolve_run_policy(policy, copies, default_copies=config.copies)
@@ -209,6 +240,22 @@ class MemcachedExperiment:
         if not stub and eager_util >= 0.98:
             raise CapacityError(
                 f"load {load:.2f} with {k} copies saturates the servers"
+            )
+
+        timeline = parse_churn(churn)
+        if timeline:
+            if stub:
+                raise ConfigurationError("churn is not meaningful in the stub build")
+            return self._run_churn(
+                load,
+                hedged,
+                k,
+                num_requests,
+                warmup_fraction,
+                timeline,
+                migration_rate,
+                num_keys,
+                cold_penalty_s,
             )
 
         arrivals_rng = substream(config.seed, "arrivals", load, k, stub)
@@ -346,6 +393,208 @@ class MemcachedExperiment:
             policy_spec=run_policy_spec(hedged, k),
             copies_launched=total_launched,
             copies_cancelled=total_cancelled,
+        )
+
+    def _run_churn(
+        self,
+        load: float,
+        hedged,
+        k: int,
+        num_requests: int,
+        warmup_fraction: float,
+        timeline: ChurnTimeline,
+        migration_rate: float,
+        num_keys: int,
+        cold_penalty_s: float,
+    ) -> MemcachedRunResult:
+        """One run under a membership-event timeline (ring-placed keys).
+
+        GETs go to the replica set the live ring names for their key; each
+        membership change schedules migration SETs on the gaining servers —
+        paced at ``migration_rate`` per server — which occupy the same FIFOs
+        as foreground traffic, and a GET that reaches a gaining server before
+        its key's migration SET is scheduled pays ``cold_penalty_s`` on top
+        of its drawn service time (the fetch-through from a surviving
+        replica).  Remove and crash plan identical migrations (fail-stop, no
+        drain), so crash-at-t is byte-identical to remove-at-t.
+        """
+        config = self.config
+        placement = resolve_churn_placement()
+        rings = timeline.epoch_rings(config.num_servers)
+        min_live = min(ring.num_servers for ring in rings)
+        if k > min_live:
+            raise ConfigurationError(
+                f"copies={k} exceeds the {min_live} servers live in the "
+                f"smallest epoch of churn {timeline.spec()!r}"
+            )
+        if num_keys < 1:
+            raise ConfigurationError(f"num_keys must be >= 1, got {num_keys!r}")
+        if cold_penalty_s < 0:
+            raise ConfigurationError(
+                f"cold_penalty_s must be >= 0, got {cold_penalty_s!r}"
+            )
+
+        arrivals_rng = substream(config.seed, "arrivals", load, k, False)
+        service_rng = substream(config.seed, "service", load, k, False)
+        keys_rng = substream(config.seed, "keys", load, k)
+        migration_rng = substream(config.seed, "migration", load, k)
+
+        mean_service = config.expected_service_s()
+        total_rate = config.num_servers * load / mean_service
+        arrival_times = np.cumsum(arrivals_rng.exponential(1.0 / total_rate, num_requests))
+        service_times = self._sample_service(service_rng, num_requests * k).reshape(
+            num_requests, k
+        )
+        key_ids = keys_rng.integers(0, num_keys, size=num_requests)
+
+        horizon = float(arrival_times[-1])
+        event_times = timeline.event_times(horizon)
+        epoch_of = np.searchsorted(event_times, arrival_times, side="right")
+        replica_lists = np.empty((num_requests, k), dtype=np.int64)
+        if placement == "epoch":
+            for epoch, ring in enumerate(rings):
+                pos = np.flatnonzero(epoch_of == epoch)
+                if pos.size:
+                    replica_lists[pos] = ring.replica_table(key_ids[pos].tolist(), k)
+        else:
+            for i in range(num_requests):
+                replica_lists[i] = rings[epoch_of[i]].replicas_for(int(key_ids[i]), k)
+
+        mig_times, mig_servers, mig_keys = migration_schedule(
+            rings, event_times, num_keys, migration_rate, horizon
+        )
+        num_migrations = len(mig_times)
+        mig_services = self._sample_service(migration_rng, num_migrations)
+        # A (server, key) pair is cold from the event until its migration SET
+        # is scheduled; earliest schedule wins if several events move it.
+        migrated_at: Dict[tuple, float] = {}
+        for j in range(num_migrations):
+            pair = (int(mig_servers[j]), int(mig_keys[j]))
+            if pair not in migrated_at:
+                migrated_at[pair] = float(mig_times[j])
+
+        def cold_tail(request: int, copy: int, at: float) -> float:
+            # The fetch-through from a surviving replica is time the *client*
+            # waits, not time the gaining server is busy: it adds to this
+            # copy's completion but does not occupy the FIFO (so a failover
+            # cannot saturate the pool through the penalty alone).
+            pair = (int(replica_lists[request, copy]), int(key_ids[request]))
+            when = migrated_at.get(pair)
+            if when is not None and at < when:
+                return cold_penalty_s
+            return 0.0
+
+        real_extra_s = config.client_extra_copy_s + config.unmeasured_extra_copy_s
+        total_cancelled: Optional[int] = None
+        all_servers = timeline.all_servers(config.num_servers)
+
+        if hedged is None:
+            free_at: Dict[int, float] = {sid: 0.0 for sid in all_servers}
+            client_time = config.client_base_s + real_extra_s * (k - 1)
+            response = np.empty(num_requests)
+            m = 0
+            for i in range(num_requests):
+                arrival = float(arrival_times[i])
+                while m < num_migrations and mig_times[m] <= arrival:
+                    g = int(mig_servers[m])
+                    start = free_at[g] if free_at[g] > mig_times[m] else float(mig_times[m])
+                    free_at[g] = start + float(mig_services[m])
+                    m += 1
+                best = np.inf
+                for copy in range(k):
+                    server = int(replica_lists[i, copy])
+                    start = free_at[server] if free_at[server] > arrival else arrival
+                    finish = start + float(service_times[i, copy])
+                    free_at[server] = finish
+                    elapsed = finish - arrival + cold_tail(i, copy, arrival)
+                    if elapsed < best:
+                        best = elapsed
+                response[i] = best + client_time
+            total_launched = num_requests * k
+        elif hedged.cancel_on_win:
+
+            def server_index(request: int, copy: int) -> int:
+                return int(replica_lists[request, copy])
+
+            def begin(request: int, copy: int, at: float):
+                return (
+                    "service",
+                    float(service_times[request, copy]),
+                    cold_tail(request, copy, at),
+                )
+
+            def begin_background(job: int, at: float):
+                return ("service", float(mig_services[job]), 0.0)
+
+            background = [
+                (float(mig_times[j]), int(mig_servers[j]), j)
+                for j in range(num_migrations)
+            ]
+            finish_at, launched_arr, cancelled_arr = simulate_cancelling_arrivals(
+                hedged,
+                arrival_times,
+                k,
+                server_index,
+                begin,
+                background_jobs=background,
+                begin_background=begin_background,
+            )
+            billable = launched_arr - cancelled_arr
+            total_cancelled = int(cancelled_arr.sum())
+            response = (
+                (finish_at - arrival_times)
+                + config.client_base_s
+                + real_extra_s * (billable - 1)
+            )
+            total_launched = int(launched_arr.sum())
+        else:
+            free_at = {sid: 0.0 for sid in all_servers}
+            state = {"next": 0}
+
+            def launch(request: int, copy: int, at: float) -> float:
+                m = state["next"]
+                while m < num_migrations and mig_times[m] <= at:
+                    g = int(mig_servers[m])
+                    start = free_at[g] if free_at[g] > mig_times[m] else float(mig_times[m])
+                    free_at[g] = start + float(mig_services[m])
+                    m += 1
+                state["next"] = m
+                server = int(replica_lists[request, copy])
+                start = free_at[server] if free_at[server] > at else at
+                finish = start + float(service_times[request, copy])
+                free_at[server] = finish
+                return finish + cold_tail(request, copy, at)
+
+            finish_at, launched_arr = simulate_hedged_arrivals(
+                hedged, arrival_times, k, launch
+            )
+            response = (
+                (finish_at - arrival_times)
+                + config.client_base_s
+                + real_extra_s * (launched_arr - 1)
+            )
+            total_launched = int(launched_arr.sum())
+
+        start_index = int(num_requests * warmup_fraction)
+        retained = response[start_index:]
+        spike = spike_metrics(arrival_times[start_index:], retained, event_times)
+        registry = MetricsRegistry("memcached")
+        registry.counter("requests").increment(num_requests)
+        registry.counter("copies_launched").increment(total_launched)
+        registry.counter("migration_jobs").increment(num_migrations)
+        recorder = registry.recorder("latency")
+        recorder.record_many(retained)
+        return MemcachedRunResult(
+            load=float(load),
+            copies=k,
+            stub=False,
+            response_times=retained,
+            summary=recorder.summary(),
+            metrics=registry.snapshot(),
+            policy_spec=run_policy_spec(hedged, k),
+            copies_launched=total_launched,
+            copies_cancelled=total_cancelled,
+            spike=spike,
         )
 
     def _choose_servers(

@@ -44,8 +44,11 @@ from repro.core.policy import PolicyDriver, ReplicationPolicy
 
 __all__ = ["simulate_cancelling_arrivals"]
 
-#: Event kind priorities at equal timestamps.
-_POP, _WIN, _BACKUP, _ARRIVAL = 0, 1, 2, 3
+#: Event kind priorities at equal timestamps.  Background (migration) jobs
+#: slot between wins and backup launches so that, at equal timestamps, they
+#: join their station before any foreground dispatch — matching the "flush
+#: due migration work, then serve" order of the non-cancelling engines.
+_POP, _WIN, _BG, _BACKUP, _ARRIVAL = 0, 1, 2, 3, 4
 
 #: Queue-entry states.
 _QUEUED, _IN_SERVICE, _CANCELLED = 0, 1, 2
@@ -70,6 +73,8 @@ def simulate_cancelling_arrivals(
     server_of: Callable[[int, int], int],
     begin: Callable[[int, int, float], BeginResult],
     on_copy_resolved: Optional[Callable[[int, int, str, float, float], None]] = None,
+    background_jobs: Optional[List[Tuple[float, int, int]]] = None,
+    begin_background: Optional[Callable[[int, float], BeginResult]] = None,
 ):
     """Drive FIFO servers through ``policy`` with cancel-on-win honoured.
 
@@ -90,6 +95,16 @@ def simulate_cancelling_arrivals(
             ``"cancelled"`` (withdrawn while queued; ``work_s`` is 0.0 and
             ``finish_s`` the cancellation time).  Copies whose launch was
             suppressed never reach the hook.
+        background_jobs: Optional ``(time, station, job)`` triples, ascending
+            in time: non-request work (e.g. churn migration reads) injected
+            into station FIFOs.  Background jobs compete for service exactly
+            like copies but are never cancelled, complete no request, and
+            appear in none of the returned accounting arrays.  Omitting them
+            leaves the engine byte-identical to earlier releases.
+        begin_background: Dispatch-time callback for background jobs,
+            ``begin_background(job, at) -> BeginResult`` with the same
+            contract as ``begin``.  Required when ``background_jobs`` is
+            non-empty.
 
     Returns:
         ``(finish_at, copies_launched, copies_cancelled)`` per-request
@@ -138,9 +153,10 @@ def simulate_cancelling_arrivals(
         entry[4] = _IN_SERVICE
         station.busy = True
         finish = at + service
-        if on_copy_resolved is not None:
-            on_copy_resolved(request, copy, "finished", service, finish + tail)
-        complete(request, finish + tail)
+        if request >= 0:
+            if on_copy_resolved is not None:
+                on_copy_resolved(request, copy, "finished", service, finish + tail)
+            complete(request, finish + tail)
         push(finish, _POP, (id(station), station))
 
     def dispatch(request: int, copy: int, at: float) -> None:
@@ -162,6 +178,11 @@ def simulate_cancelling_arrivals(
 
     for request in range(num_requests):
         push(float(arrival_times[request]), _ARRIVAL, (request,))
+    if background_jobs:
+        if begin_background is None:
+            raise ValueError("background_jobs requires begin_background")
+        for when, station_id, job in background_jobs:
+            push(float(when), _BG, (station_id, job))
 
     while heap:
         at, kind, _seq, payload = heapq.heappop(heap)
@@ -174,6 +195,17 @@ def simulate_cancelling_arrivals(
                 push(at + delay, _BACKUP, (request, copy))
                 outstanding[request] += 1
             feedback(request)
+        elif kind == _BG:
+            station_id, job = payload
+            result = begin_background(job, at)
+            if result[0] != "done":
+                _kind, service, tail = result
+                station = servers.setdefault(station_id, _Server())
+                entry = [-1, job, service, tail, _QUEUED]
+                if station.busy:
+                    station.queue.append(entry)
+                else:
+                    enter_service(station, entry, at)
         elif kind == _BACKUP:
             request, copy = payload
             outstanding[request] -= 1

@@ -71,12 +71,14 @@ def normalize_point_params(
     params: Dict[str, Any],
     axes: Any = (),
 ) -> Dict[str, Any]:
-    """Canonicalise one sweep point's ``policy`` parameter.
+    """Canonicalise one sweep point's ``policy`` and ``churn`` parameters.
 
     Called by the sweep runner on every grid point *before* the point seed is
     derived.  A malformed spec therefore fails fast, before any worker is
     spawned, and two spellings of the same policy (``"hedge:0.01s"`` vs
-    ``"hedge:10ms"``) share one seed.  Eager policies are rewritten into the
+    ``"hedge:10ms"``) — or of the same churn timeline (event order, ``0.40``
+    vs ``0.4``) — share one seed.  An empty churn spec is dropped entirely,
+    putting it on the exact point the static grid produces.  Eager policies are rewritten into the
     substrate's legacy parameter — ``policy="k2"`` becomes ``copies=2``
     (``replication=True`` for the fat-tree) — so policy-axis sweeps of eager
     configurations are byte-identical to the historical integer-``copies``
@@ -93,6 +95,18 @@ def normalize_point_params(
             swept legacy axis, or an eager copy count the substrate cannot
             express.
     """
+    if "churn" in params:
+        from repro.cluster.churn import canonical_churn_spec
+
+        params = dict(params)
+        canonical = canonical_churn_spec(params["churn"])
+        if canonical:
+            params["churn"] = canonical
+        else:
+            # An empty timeline IS the static run: dropping the key keeps
+            # `churn=""` on the same point seed and artifact bytes as a
+            # grid that never mentions churn at all.
+            del params["churn"]
     if "policy" not in params:
         return params
     params = dict(params)
@@ -267,8 +281,10 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 
     Params: ``variant`` (one of the Figure 5-11 named configurations),
     ``load``, ``copies`` or ``policy`` (e.g. ``"hedge:20ms"``), ``num_files``,
-    ``num_requests`` and optional ``ccdf_thresholds_ms`` (tail fractions
-    reported as scalars).
+    ``num_requests``, optional ``ccdf_thresholds_ms`` (tail fractions
+    reported as scalars), and optional ``churn`` (a membership-event spec
+    such as ``"add:4@0.4"``) with ``migration_rate`` — churn runs export the
+    before/spike/after p99 decomposition as scalars.
     """
     from repro.cluster import DatabaseClusterConfig, DatabaseClusterExperiment
 
@@ -287,6 +303,8 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         copies=None if policy is not None else int(params.get("copies", 2)),
         num_requests=int(params.get("num_requests", 15_000)),
         policy=policy,
+        churn=params.get("churn"),
+        migration_rate=float(params.get("migration_rate", 50.0)),
     )
     scalars: Dict[str, Any] = {
         "mean": result.mean,
@@ -297,6 +315,8 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         scalars["copies_launched_per_request"] = result.copies_launched / int(
             params.get("num_requests", 15_000)
         )
+    if result.spike is not None:
+        scalars.update(result.spike)
     for threshold_ms in params.get("ccdf_thresholds_ms", ()):
         fraction = float(np.mean(result.response_times > threshold_ms / 1000.0))
         scalars[f"frac_later_{threshold_ms:g}ms"] = fraction
@@ -306,7 +326,10 @@ def run_database(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
 def run_memcached(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
     """One (load, copies-or-policy, stub) point of the Section 2.3 memcached model.
 
-    Params: ``load``, ``copies`` or ``policy``, ``stub``, ``num_requests``.
+    Params: ``load``, ``copies`` or ``policy``, ``stub``, ``num_requests``,
+    and optional ``churn`` (a membership-event spec such as ``"crash:1@0.4"``)
+    with ``migration_rate``, ``num_keys`` and ``cold_penalty_s`` — churn runs
+    export the before/spike/after p99 decomposition as scalars.
     """
     from repro.cluster import MemcachedConfig, MemcachedExperiment
 
@@ -319,10 +342,16 @@ def run_memcached(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
         stub=bool(params.get("stub", False)),
         num_requests=num_requests,
         policy=policy,
+        churn=params.get("churn"),
+        migration_rate=float(params.get("migration_rate", 2000.0)),
+        num_keys=int(params.get("num_keys", 20_000)),
+        cold_penalty_s=float(params.get("cold_penalty_s", 0.002)),
     )
     scalars: Dict[str, Any] = {"mean": result.mean, "p999": result.summary.p999}
     if policy is not None:
         scalars["copies_launched_per_request"] = result.copies_launched / num_requests
+    if result.spike is not None:
+        scalars.update(result.spike)
     return {
         "summary": result.summary.as_row(),
         "metrics": result.metrics,

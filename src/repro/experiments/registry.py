@@ -387,6 +387,71 @@ register_scenario(
 )
 
 # --------------------------------------------------------------------------- #
+# Built-in catalogue — elasticity under churn (beyond the paper)
+#
+# The paper measures redundancy at fixed membership.  These scenarios replay
+# a membership event (a server joining, or crashing) mid-run: re-homed keys,
+# migration traffic competing with foreground requests, and cold caches on
+# the new owners produce a latency spike whose height and duration the
+# adapters export as scalars (p99_before / p99_spike / p99_after /
+# spike_ratio / spike_duration_s).  The question is whether the redundancy
+# policies mask the spike — chart with scripts/plot_ablation.py --spike.
+# --------------------------------------------------------------------------- #
+
+register_scenario(
+    Scenario(
+        name="standard-db-rebalance",
+        entry_point="database",
+        description=(
+            "Elasticity on the Section 2.2 disk-backed database: a fifth "
+            "server joins 40% into the run, so keys re-home, migration reads "
+            "compete in the disk FIFOs, and the joiner starts cold — "
+            "migration-rate x policy grid of the resulting p99 spike."
+        ),
+        base_params={
+            "variant": "base",
+            "num_files": 20_000,
+            "num_requests": 4_000,
+            "load": 0.3,
+            "churn": "add:4@0.4",
+        },
+        grid=ParameterGrid(
+            {
+                "migration_rate": [25.0, 50.0],
+                "policy": ["none", "k2", "hedge:p95"],
+            }
+        ),
+    )
+)
+
+register_scenario(
+    Scenario(
+        name="standard-memcached-failover",
+        entry_point="memcached",
+        description=(
+            "Failover on the Section 2.3 memcached cluster: one of four "
+            "servers crashes 40% into the run, its keys fail over to ring "
+            "successors whose caches are cold (fetch-through penalty) while "
+            "migration SETs re-fill them — migration-rate x policy grid of "
+            "the resulting p99 spike."
+        ),
+        base_params={
+            "num_requests": 8_000,
+            "num_keys": 20_000,
+            "cold_penalty_s": 0.002,
+            "load": 0.15,
+            "churn": "crash:1@0.4",
+        },
+        grid=ParameterGrid(
+            {
+                "migration_rate": [500.0, 2000.0],
+                "policy": ["none", "k2", "hedge:p95"],
+            }
+        ),
+    )
+)
+
+# --------------------------------------------------------------------------- #
 # Built-in catalogue — job pipelines (beyond the paper; repro.pipeline)
 #
 # The paper's per-request frontier, re-run at per-chunk granularity: job

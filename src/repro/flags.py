@@ -193,6 +193,20 @@ PIPELINE_PATH = declare(
     ),
 )
 
+CHURN_PLACEMENT = declare(
+    "REPRO_CHURN_PLACEMENT",
+    default="epoch",
+    choices=("epoch", "scalar"),
+    help=(
+        "Replica-placement path of churn (membership-timeline) runs in the "
+        "cluster substrates: 'epoch' computes each inter-event epoch's "
+        "placements with one vectorised ring.replica_table call; 'scalar' "
+        "reproduces the per-request ring.replicas_for loop.  The two paths "
+        "are byte-identical (CI cmps them); consumed by "
+        "repro.cluster.churn.resolve_churn_placement."
+    ),
+)
+
 SIM_QUEUE = declare(
     "REPRO_SIM_QUEUE",
     default="auto",

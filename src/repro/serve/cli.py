@@ -8,8 +8,10 @@ Two subcommands:
     executes the whole stack under the deterministic virtual-time loop and
     emits a canonical, byte-reproducible report; ``--clock real`` paces the
     same run on the wall clock.  ``--swap T:SPEC`` hot-swaps the policy
-    mid-run (repeatable).  ``--backend echo`` swaps the simulated pool for
-    real loopback TCP echo servers (real clock only).
+    mid-run and ``--event T:ACTION:INDEX`` applies a membership event
+    (``add`` / ``remove`` / ``crash`` of one backend) mid-run — both
+    repeatable.  ``--backend echo`` swaps the simulated pool for real
+    loopback TCP echo servers (real clock only).
 
 ``bench``
     Throughput measurement: saturates the proxy's dispatch path with
@@ -51,6 +53,26 @@ def _parse_swap(text: str) -> Tuple[float, str]:
     return at, spec
 
 
+def _parse_event(text: str) -> Tuple[float, str, int]:
+    """``T:ACTION:INDEX`` — e.g. ``0.4:crash:1`` kills backend 1 at 0.4 s."""
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"--event wants T:ACTION:INDEX (e.g. 0.4:crash:1), got {text!r}"
+        )
+    head, action, tail = parts
+    try:
+        at = float(head)
+        index = int(tail)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad --event time/index in {text!r}") from exc
+    if action not in ("add", "remove", "crash"):
+        raise argparse.ArgumentTypeError(
+            f"--event action must be add/remove/crash, got {action!r}"
+        )
+    return at, action, index
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve", description=__doc__.split("\n\n")[0]
@@ -75,6 +97,12 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--swap", action="append", type=_parse_swap, default=[],
         metavar="T:SPEC", help="hot-swap the policy T seconds into the run",
+    )
+    run.add_argument(
+        "--event", action="append", type=_parse_event, default=[],
+        metavar="T:ACTION:INDEX",
+        help="membership event T seconds into the run: add, remove "
+             "(graceful drain) or crash (dead eviction) of backend INDEX",
     )
     run.add_argument("--json", default=None, help="write the canonical report here")
     run.add_argument("--quiet", action="store_true")
@@ -120,6 +148,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         keyspace=args.keyspace,
         resolution=0.0 if args.clock == "virtual" else 0.001,
         swaps=args.swap,
+        events=args.event,
     )
 
     async def drive() -> RunReport:

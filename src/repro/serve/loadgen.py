@@ -11,7 +11,8 @@ model of the paper's analysis (Section 2) and of the offline substrates'
 * walks the timeline on the injected clock, dispatching each request the
   moment its arrival time is due — through the proxy's synchronous fast
   path when the current plan allows it, else as a racing task;
-* optionally hot-swaps the proxy policy at scheduled times mid-run;
+* optionally hot-swaps the proxy policy and applies membership events
+  (backend add / graceful remove / crash) at scheduled times mid-run;
 * drains the proxy and assembles the :class:`~repro.serve.report.RunReport`.
 
 The ``resolution`` knob batches arrivals closer together than one sleep
@@ -52,6 +53,9 @@ class LoadGenConfig:
             granule are issued in one wakeup.  ``0`` issues each arrival at
             its exact timestamp (virtual-clock mode).
         swaps: Scheduled policy hot-swaps, as ``(at_seconds, spec)`` pairs.
+        events: Scheduled membership events, as ``(at_seconds, action,
+            backend_index)`` triples with ``action`` one of ``"add"``,
+            ``"remove"`` (graceful drain) or ``"crash"`` (dead eviction).
     """
 
     rate: float
@@ -61,12 +65,18 @@ class LoadGenConfig:
     keyspace: int = 10_000
     resolution: float = 0.0
     swaps: Sequence[Tuple[float, str]] = ()
+    events: Sequence[Tuple[float, str, int]] = ()
 
     def __post_init__(self) -> None:
         if (self.num_requests is None) == (self.duration_s is None):
             raise ValueError("set exactly one of num_requests / duration_s")
         if self.rate <= 0:
             raise ValueError(f"rate must be positive, got {self.rate!r}")
+        for _at, action, _backend in self.events:
+            if action not in ("add", "remove", "crash"):
+                raise ValueError(
+                    f"event action must be add/remove/crash, got {action!r}"
+                )
 
 
 def _draw_traffic(config: LoadGenConfig) -> Tuple[np.ndarray, np.ndarray]:
@@ -93,30 +103,46 @@ async def run_load(
     # on the vectorised fast path.  int64 keyspace x backends is small.
     proxy.prepare_keyspace(config.keyspace, len(proxy.backends))
     start = clock.now()
-    swap_queue: List[Tuple[float, str]] = sorted(
-        (float(at), spec) for at, spec in config.swaps
+    # One time-ordered control schedule covers policy swaps and membership
+    # events; ties break swaps-before-events, then input order (stable sort).
+    controls: List[Tuple[float, int, tuple]] = sorted(
+        [(float(at), 0, (spec,)) for at, spec in config.swaps]
+        + [(float(at), 1, (action, int(backend))) for at, action, backend in config.events],
+        key=lambda control: control[:2],
     )
+
+    def apply_control(kind: int, payload: tuple) -> None:
+        if kind == 0:
+            proxy.set_policy(payload[0])
+        else:
+            action, backend = payload
+            if action == "add":
+                proxy.add_backend(backend)
+            else:
+                proxy.remove_backend(backend, dead=(action == "crash"))
+
     issued_tasks: List[asyncio.Task] = []
     index = 0
     total = len(offsets)
     while index < total:
         due = float(offsets[index])
-        while swap_queue and swap_queue[0][0] <= due:
-            swap_at, swap_spec = swap_queue.pop(0)
-            delay = (start + swap_at) - clock.now()
+        while controls and controls[0][0] <= due:
+            control_at, kind, payload = controls.pop(0)
+            delay = (start + control_at) - clock.now()
             if delay > 0:
                 await clock.sleep(delay)
-            proxy.set_policy(swap_spec)
+            apply_control(kind, payload)
         delay = (start + due) - clock.now()
         if delay > config.resolution:
             await clock.sleep(delay)
         # Issue every arrival due within the current granule in one wakeup,
-        # never crossing a scheduled policy swap (arrivals at exactly the
-        # swap time run under the new policy, matching the scalar path).
+        # never crossing a scheduled control point (arrivals at exactly the
+        # control time run under the new policy/membership, matching the
+        # scalar path).
         horizon = (clock.now() - start) + config.resolution
         end = int(np.searchsorted(offsets, horizon, side="right"))
-        if swap_queue:
-            end = min(end, int(np.searchsorted(offsets, swap_queue[0][0], side="left")))
+        if controls:
+            end = min(end, int(np.searchsorted(offsets, controls[0][0], side="left")))
         end = max(end, index + 1)
         if end - index > 1 and proxy.submit_batch(
             keys[index:end], start + offsets[index:end]
@@ -128,11 +154,11 @@ async def run_load(
             if not proxy.submit_nowait(key):
                 issued_tasks.append(asyncio.ensure_future(proxy.request(key)))
             index += 1
-    for swap_at, swap_spec in swap_queue:
-        delay = (start + swap_at) - clock.now()
+    for control_at, kind, payload in controls:
+        delay = (start + control_at) - clock.now()
         if delay > 0:
             await clock.sleep(delay)
-        proxy.set_policy(swap_spec)
+        apply_control(kind, payload)
     if issued_tasks:
         await asyncio.gather(*issued_tasks, return_exceptions=True)
     await proxy.drain()
@@ -142,6 +168,7 @@ async def run_load(
         clock=clock.name,
         policy=initial_policy,
         swaps=list(proxy.policy_swaps),
+        events=list(proxy.membership_events),
         rate=config.rate,
         duration_s=duration,
         seed=config.seed,

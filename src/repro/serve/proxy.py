@@ -21,6 +21,16 @@ already in flight finish under the plan they were launched with; new
 requests pick up the new plan.  Both dispatch paths (below) share the
 backends' single reservation state, so a swap never corrupts queue state.
 
+Membership is live too.  :meth:`RedundancyProxy.remove_backend` evicts a
+backend from the hash ring mid-run — ``dead=True`` (a crash) additionally
+marks it failed so copies already racing toward it error out and fail over;
+``dead=False`` is a graceful drain: no *new* copies route to it, but
+dispatched copies complete.  :meth:`RedundancyProxy.add_backend` brings a
+pool slot (back) onto the ring; stable vnode identity means a re-added
+backend reclaims exactly the keys it owned before.  Every membership event
+rebuilds the precomputed replica table against the live ring, so both
+dispatch paths re-home keys immediately and deterministically.
+
 Two dispatch paths, one accounting surface:
 
 * the **race path** (:meth:`request`) creates one task per copy and races
@@ -37,7 +47,7 @@ Two dispatch paths, one accounting surface:
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -92,8 +102,11 @@ class RedundancyProxy:
         self.failed_requests = 0
         self.useful_service_s = 0.0
         self.policy_swaps: List[Dict[str, Union[float, str]]] = []
+        self.membership_events: List[Dict[str, Union[float, int, str]]] = []
         self._replica_table: Optional[np.ndarray] = None
         self._table_copies = 0
+        self._keyspace: Optional[int] = None
+        self._keyspace_copies = 0
         self._in_flight = 0
         self._idle = asyncio.Event()
         self._idle.set()
@@ -136,23 +149,91 @@ class RedundancyProxy:
         return policy_to_spec(self.policy)
 
     # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    @property
+    def live_backends(self) -> Tuple[int, ...]:
+        """Indices of the backends currently on the ring, ascending."""
+        return self.ring.servers
+
+    def remove_backend(self, index: int, dead: bool = True) -> None:
+        """Evict ``backends[index]`` from the ring (failover / scale-down).
+
+        With ``dead=True`` the backend is also marked failed — crash
+        semantics: racing copies already headed its way raise
+        :class:`BackendError` and fail over to surviving replicas, while
+        copies *in service* complete (fail-stop at dispatch, matching the
+        offline substrates).  ``dead=False`` is a graceful drain: the
+        backend just stops receiving new copies.
+
+        Raises:
+            ConfigurationError: If the index is not on the ring, or it is
+                the last live backend.
+        """
+        self.ring.remove_server(index)
+        backend = self.backends[index]
+        if dead and hasattr(backend, "set_failed"):
+            backend.set_failed(True)
+        self.membership_events.append(
+            {
+                "at": self.clock.now(),
+                "action": "crash" if dead else "remove",
+                "backend": int(index),
+            }
+        )
+        self._rebuild_replica_table()
+
+    def add_backend(self, index: int) -> None:
+        """Bring pool slot ``index`` (back) onto the ring.
+
+        A previously crashed backend is revived (``set_failed(False)``)
+        before it rejoins.  Stable vnode identity means a re-added backend
+        reclaims exactly the keys it owned before its removal.
+
+        Raises:
+            ValueError: If ``index`` is not a pool slot.
+            ConfigurationError: If the backend is already on the ring.
+        """
+        if not 0 <= index < len(self.backends):
+            raise ValueError(
+                f"backend index must be in [0, {len(self.backends)}), got {index!r}"
+            )
+        backend = self.backends[index]
+        if getattr(backend, "failed", False) and hasattr(backend, "set_failed"):
+            backend.set_failed(False)
+        self.ring.add_server(index)
+        self.membership_events.append(
+            {"at": self.clock.now(), "action": "add", "backend": int(index)}
+        )
+        self._rebuild_replica_table()
+
+    # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------
 
     def prepare_keyspace(self, num_keys: int, max_copies: int) -> None:
         """Precompute the replica table for keys ``0..num_keys-1``.
 
-        One vectorised ``primary_for_many`` pass replaces a per-request
+        One vectorised ``ring.replica_table`` pass replaces a per-request
         blake2b + bisect — load-bearing for the bench throughput target.
+        The table is rebuilt automatically on every membership event, so
+        ``max_copies`` is remembered (clamped to the live pool each time).
         """
-        primaries = self.ring.primary_for_many(np.arange(num_keys))
-        copies = max(1, max_copies)
-        table = (primaries[:, None] + np.arange(copies)[None, :]) % len(self.backends)
-        self._replica_table = table.astype(np.int64)
+        self._keyspace = int(num_keys)
+        self._keyspace_copies = max(1, int(max_copies))
+        self._rebuild_replica_table()
+
+    def _rebuild_replica_table(self) -> None:
+        """Recompute the replica table against the live ring membership."""
+        if self._keyspace is None:
+            return
+        copies = min(self._keyspace_copies, self.ring.num_servers)
+        self._replica_table = self.ring.replica_table(range(self._keyspace), copies)
         self._table_copies = copies
 
     def replicas(self, key: int, copies: int) -> List[int]:
-        """The ``copies`` distinct backend indices serving ``key``."""
+        """The ``copies`` distinct live backend indices serving ``key``."""
         if self._replica_table is not None and key < len(self._replica_table):
             if copies <= self._table_copies:
                 return [int(b) for b in self._replica_table[key, :copies]]
@@ -176,7 +257,7 @@ class RedundancyProxy:
         if plan is None:
             return False
         now = self.clock.now()
-        max_copies = min(plan.copies, len(self.backends))
+        max_copies = min(plan.copies, self.ring.num_servers)
         win_finish = None
         win_service = 0.0
         launched = 0
@@ -219,10 +300,15 @@ class RedundancyProxy:
         plan = self._fast_plan
         if plan is None or self._replica_table is None:
             return False
-        if any(b.failed or not hasattr(b, "submit_many") for b in self.backends):
+        # Only the *live* members receive batch copies — a crashed backend
+        # off the ring must not refuse the batch for everyone else.
+        if any(
+            self.backends[i].failed or not hasattr(self.backends[i], "submit_many")
+            for i in self.ring.servers
+        ):
             return False
         count = len(keys)
-        copies = min(plan.copies, len(self.backends))
+        copies = min(plan.copies, self.ring.num_servers)
         if copies > self._table_copies:
             # A narrower table than the plan would leave the tail columns of
             # the finish/service arrays unfilled — fall back to scalar
@@ -279,7 +365,7 @@ class RedundancyProxy:
         """
         plan = self.policy.plan()
         started = self.clock.now()
-        max_copies = min(plan.copies, len(self.backends))
+        max_copies = min(plan.copies, self.ring.num_servers)
         replicas = self.replicas(key, max_copies)
         self.requests += 1
         self._begin()

@@ -20,7 +20,7 @@ from repro.analysis.stats import LatencySummary
 __all__ = ["RunReport"]
 
 #: Artifact schema identifier (bump on incompatible change).
-SCHEMA = "serve-report/1"
+SCHEMA = "serve-report/2"
 
 Number = Union[int, float]
 
@@ -34,6 +34,8 @@ class RunReport:
             simulated (canonical) or measured.
         policy: Canonical spec of the policy the run *started* with.
         swaps: Any mid-run hot-swaps, as ``{"at": t, "policy": spec}``.
+        events: Any mid-run membership events, as
+            ``{"at": t, "action": "add"|"remove"|"crash", "backend": i}``.
         rate: Offered open-loop arrival rate (requests/second).
         duration_s: Span from first arrival to last completion (clock units).
         seed: The run seed.
@@ -46,6 +48,7 @@ class RunReport:
     clock: str
     policy: str
     swaps: List[Dict[str, Union[float, str]]]
+    events: List[Dict[str, Union[float, int, str]]]
     rate: float
     duration_s: float
     seed: int
@@ -60,6 +63,7 @@ class RunReport:
             "clock": self.clock,
             "policy": self.policy,
             "swaps": self.swaps,
+            "events": self.events,
             "rate": self.rate,
             "duration_s": self.duration_s,
             "seed": self.seed,
@@ -93,6 +97,10 @@ class RunReport:
         ]
         for swap in self.swaps:
             lines.append(f"  swap @ {swap['at']:g}s -> {swap['policy']}")
+        for event in self.events:
+            lines.append(
+                f"  {event['action']} backend {event['backend']} @ {event['at']:g}s"
+            )
         extras = [
             f"hedges fired {counters['hedges_fired']}",
             f"suppressed {counters['hedges_suppressed']}",

@@ -12,7 +12,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.consistent_hash import ConsistentHashRing
+from repro.cluster.consistent_hash import (
+    ConsistentHashRing,
+    analyze_membership_change,
+)
 
 # Keep hypothesis runtimes modest: these are invariant checks, not fuzzing.
 DEFAULT_SETTINGS = settings(max_examples=30, deadline=None)
@@ -111,3 +114,96 @@ def test_primary_for_many_matches_scalar(keys):
     ring = ConsistentHashRing(8, virtual_nodes=32)
     vectorised = ring.primary_for_many(keys)
     assert list(vectorised) == [ring.primary_for(key) for key in keys]
+
+
+# ---------------------------------------------------------------------------
+# Live membership (what the churn timeline and repro.serve eviction rely on)
+# ---------------------------------------------------------------------------
+
+@DEFAULT_SETTINGS
+@given(
+    num_servers=st.integers(min_value=3, max_value=24),
+    data=st.data(),
+)
+def test_removal_moves_only_the_removed_servers_keys(num_servers, data):
+    """remove_server remaps exactly the keys the removed server owned —
+    ~1/n of the keyspace, within the growth bounds — and nothing else."""
+    victim = data.draw(st.integers(min_value=0, max_value=num_servers - 1))
+    # Python ints throughout: the ring hashes repr(key), and repr(np.int64(k))
+    # differs from repr(k) — mixing the two would compare different keyspaces.
+    keys = KEYS.tolist()
+    before = ConsistentHashRing(num_servers, virtual_nodes=64)
+    owned_before = before.primary_for_many(keys)
+    after = ConsistentHashRing(num_servers, virtual_nodes=64)
+    after.remove_server(victim)
+    owned_after = after.primary_for_many(keys)
+    moved = owned_before != owned_after
+    # Exactly the victim's keys move: survivors' ring points are identical
+    # in both rings, so no other arc can change hands.
+    assert set(np.unique(owned_before[moved])) <= {victim}
+    assert not np.any(owned_after == victim)
+    fraction = float(moved.mean())
+    ideal = 1.0 / num_servers
+    assert 0.5 * ideal - 0.02 <= fraction <= 2.0 * ideal + 0.02, (
+        f"n={num_servers} victim={victim}: moved {fraction:.4f}, ideal {ideal:.4f}"
+    )
+    # analyze_membership_change agrees with the direct comparison.
+    change = analyze_membership_change(before, after, keys)
+    assert change["moved_keys"] == int(moved.sum())
+    assert change["per_server_delta"][victim] == -int((owned_before == victim).sum())
+    assert sum(change["per_server_delta"].values()) == 0
+    assert sum(len(v) for v in change["gained"].values()) == change["moved_keys"]
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_servers=st.integers(min_value=2, max_value=16),
+    data=st.data(),
+)
+def test_add_after_remove_restores_exact_assignment(num_servers, data):
+    """Stable vnode identity: a server's ring points are a pure function of
+    its id, so remove-then-re-add (and add-then-remove of a brand-new id)
+    restore the exact prior assignment — byte for byte."""
+    ring = ConsistentHashRing(num_servers, virtual_nodes=32)
+    baseline = ring.primary_for_many(KEYS).copy()
+    if num_servers >= 2:
+        victim = data.draw(st.integers(min_value=0, max_value=num_servers - 1))
+        ring.remove_server(victim)
+        ring.add_server(victim)
+        assert np.array_equal(ring.primary_for_many(KEYS), baseline)
+        assert ring.servers == tuple(range(num_servers))
+    newcomer = data.draw(st.integers(min_value=num_servers, max_value=num_servers + 8))
+    ring.add_server(newcomer)
+    ring.remove_server(newcomer)
+    assert np.array_equal(ring.primary_for_many(KEYS), baseline)
+
+
+@DEFAULT_SETTINGS
+@given(
+    num_servers=st.integers(min_value=3, max_value=16),
+    key=st.integers(min_value=0, max_value=2**63),
+    data=st.data(),
+)
+def test_replicas_stay_distinct_across_churn(num_servers, key, data):
+    """After arbitrary add/remove churn (non-contiguous membership),
+    replicas_for still returns distinct *live* members, successor-shaped in
+    ascending member order, and replica_table matches it row for row."""
+    ring = ConsistentHashRing(num_servers, virtual_nodes=16)
+    for _ in range(data.draw(st.integers(min_value=1, max_value=4))):
+        if len(ring.servers) > 2 and data.draw(st.booleans()):
+            ring.remove_server(data.draw(st.sampled_from(ring.servers)))
+        else:
+            candidates = [s for s in range(num_servers + 8) if s not in ring.servers]
+            ring.add_server(data.draw(st.sampled_from(candidates)))
+    members = list(ring.servers)
+    copies = data.draw(st.integers(min_value=1, max_value=len(members)))
+    replicas = ring.replicas_for(key, copies)
+    assert len(set(replicas)) == copies
+    assert set(replicas) <= set(members)
+    position = members.index(replicas[0])
+    assert replicas == [
+        members[(position + offset) % len(members)] for offset in range(copies)
+    ]
+    table = ring.replica_table([key, key + 1], copies)
+    assert table[0].tolist() == replicas
+    assert table[1].tolist() == ring.replicas_for(key + 1, copies)

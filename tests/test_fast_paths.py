@@ -269,3 +269,42 @@ class TestFlowFidelity:
         med_packet = float(np.median(packet.fcts()))
         med_flow = float(np.median(flow.fcts()))
         assert med_flow == pytest.approx(med_packet, rel=0.35)
+
+
+class TestRingDistributionFastPath:
+    """The vectorised ConsistentHashRing.distribution() against the
+    historical per-key scalar loop — bitwise, including churned rings."""
+
+    @staticmethod
+    def scalar_distribution(ring, keys):
+        members = list(ring.servers)
+        counts = [0] * len(members)
+        for key in keys:
+            counts[members.index(ring.primary_for(key))] += 1
+        return counts
+
+    @pytest.mark.parametrize("num_servers", [1, 2, 5, 8])
+    def test_bitwise_equal_to_scalar_loop(self, num_servers):
+        from repro.cluster.consistent_hash import ConsistentHashRing
+
+        ring = ConsistentHashRing(num_servers, virtual_nodes=32)
+        keys = list(range(4000))
+        assert ring.distribution(keys) == self.scalar_distribution(ring, keys)
+
+    def test_bitwise_equal_after_churn(self):
+        from repro.cluster.consistent_hash import ConsistentHashRing
+
+        ring = ConsistentHashRing(6, virtual_nodes=32)
+        ring.remove_server(2)
+        ring.add_server(9)
+        keys = list(range(4000))
+        counts = ring.distribution(keys)
+        assert counts == self.scalar_distribution(ring, keys)
+        # Counts are ordered like ring.servers and cover every key once.
+        assert len(counts) == len(ring.servers)
+        assert sum(counts) == len(keys)
+
+    def test_empty_keys(self):
+        from repro.cluster.consistent_hash import ConsistentHashRing
+
+        assert ConsistentHashRing(4).distribution([]) == [0, 0, 0, 0]

@@ -58,7 +58,7 @@ class TestDeterminism:
     def test_report_is_canonical_json(self):
         report = run_report("k2")
         payload = json.loads(report.to_json())
-        assert payload["schema"] == "serve-report/1"
+        assert payload["schema"] == "serve-report/2"
         assert payload["clock"] == "virtual"
         assert payload["policy"] == "k2"
         assert list(payload) == sorted(payload)
